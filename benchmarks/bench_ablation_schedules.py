@@ -1,0 +1,93 @@
+"""Schedule ablation: thread-count and chunk-size sweeps (Section II's discussion).
+
+The paper motivates collapsing by discussing why the alternatives scale
+poorly: static outer-loop scheduling stays unbalanced at any thread count,
+and dynamic scheduling pays a dispatch overhead that grows with the number
+of chunks/threads.  This ablation sweeps both knobs for the correlation and
+ltmp kernels and prints the resulting simulated times.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.analysis import format_table
+from repro.kernels import get_kernel
+from repro.openmp import ScheduleKind, simulate_collapsed_static, simulate_outer_parallel
+
+THREAD_SWEEP = [2, 4, 8, 12, 24, 48]
+CHUNK_SWEEP = [1, 4, 16, 64]
+
+
+def test_thread_sweep(benchmark):
+    kernel = get_kernel("correlation")
+    values = {"N": 150}
+    cost_model = kernel.cost_model()
+    collapsed = kernel.collapsed()
+
+    def compute():
+        rows: List[List[str]] = []
+        results = {}
+        for threads in THREAD_SWEEP:
+            static = simulate_outer_parallel(kernel.nest, values, threads, ScheduleKind.STATIC, cost_model=cost_model)
+            dynamic = simulate_outer_parallel(
+                kernel.nest, values, threads, ScheduleKind.DYNAMIC, chunk_size=1, cost_model=cost_model
+            )
+            ours = simulate_collapsed_static(collapsed, values, threads, cost_model=cost_model)
+            results[threads] = (static, dynamic, ours)
+            rows.append(
+                [
+                    str(threads),
+                    f"{static.makespan:.0f}",
+                    f"{dynamic.makespan:.0f}",
+                    f"{ours.makespan:.0f}",
+                    f"{ours.speedup:.1f}x",
+                ]
+            )
+        return rows, results
+
+    rows, results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print("\n" + format_table(
+        ["threads", "t(static)", "t(dynamic)", "t(collapsed)", "collapsed speedup"],
+        rows,
+        title=f"thread sweep — correlation, N={values['N']}",
+    ))
+
+    for threads, (static, dynamic, ours) in results.items():
+        # collapsing never loses to the static baseline at any thread count
+        assert ours.makespan <= static.makespan * 1.001
+    # and its speedup keeps improving with more threads
+    speedups = [results[t][2].speedup for t in THREAD_SWEEP]
+    assert speedups == sorted(speedups)
+
+
+def test_dynamic_chunk_sweep_on_ltmp(benchmark):
+    """ltmp: the dynamic baseline's best chunk size balances the triangle better
+    than the collapsed static schedule (the paper's explanation of its one
+    negative result)."""
+    kernel = get_kernel("ltmp")
+    values = {"N": 120}
+    cost_model = kernel.cost_model()
+    collapsed = kernel.collapsed()
+    threads = 12
+
+    def compute():
+        dynamic_times = {}
+        for chunk in CHUNK_SWEEP:
+            result = simulate_outer_parallel(
+                kernel.nest, values, threads, ScheduleKind.DYNAMIC, chunk_size=chunk, cost_model=cost_model
+            )
+            dynamic_times[chunk] = result.makespan
+        ours = simulate_collapsed_static(collapsed, values, threads, cost_model=cost_model)
+        return dynamic_times, ours.makespan
+
+    dynamic_times, collapsed_time = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [[f"dynamic, chunk={chunk}", f"{time:.0f}"] for chunk, time in dynamic_times.items()]
+    rows.append(["collapsed, static", f"{collapsed_time:.0f}"])
+    print("\n" + format_table(["configuration", "simulated time"], rows, title=f"ltmp chunk sweep, N={values['N']}, 12 threads"))
+
+    assert min(dynamic_times.values()) < collapsed_time
+    # very coarse dynamic chunks degenerate towards the static imbalance
+    assert dynamic_times[CHUNK_SWEEP[-1]] > dynamic_times[1]

@@ -1,0 +1,54 @@
+"""Figure 2: unbalanced static distribution of the correlation triangle over 5 threads.
+
+The harness prints the per-thread work of the outer-loop static split (the
+situation Fig. 2 draws) next to the per-thread work after collapsing, for
+the same 5 threads, and asserts the qualitative shape: the static split is
+heavily skewed towards thread 0 while the collapsed split is flat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import kernel_sizes
+from repro.analysis import format_table, iteration_distribution, load_balance_report
+from repro.kernels import get_kernel
+from repro.openmp import simulate_collapsed_static
+
+FIGURE2_THREADS = 5
+
+
+def test_figure2_distribution(benchmark, paper_scale):
+    kernel = get_kernel("correlation")
+    values = kernel_sizes(kernel, paper_scale)
+
+    def compute():
+        static_loads = iteration_distribution(kernel.nest, values, FIGURE2_THREADS, kernel.cost_model())
+        collapsed = simulate_collapsed_static(
+            kernel.collapsed(), values, FIGURE2_THREADS, cost_model=kernel.cost_model()
+        )
+        return static_loads, collapsed.busy_times()
+
+    static_loads, collapsed_loads = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = [
+        [f"thread {thread}", f"{static_loads[thread]:.0f}", f"{collapsed_loads[thread]:.0f}"]
+        for thread in range(FIGURE2_THREADS)
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["thread", "outer-loop static split", "collapsed static split"],
+            rows,
+            title=f"Figure 2 — work per thread, correlation, N={values['N']}, {FIGURE2_THREADS} threads",
+        )
+    )
+
+    static_report = load_balance_report(static_loads)
+    collapsed_report = load_balance_report(collapsed_loads)
+    # the static split gives thread 0 the widest rows: heavily unbalanced
+    assert static_loads == sorted(static_loads, reverse=True)
+    assert static_report.imbalance > 1.5
+    # the collapsed split is nearly flat
+    assert collapsed_report.imbalance < 1.1
+    assert static_report.spread > 2.5

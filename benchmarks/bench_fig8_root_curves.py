@@ -1,0 +1,62 @@
+"""Figure 8: the curves of r(i, 0, 0) - pc for the 3-deep nest of Fig. 6.
+
+The paper plots the translated ranking polynomial for pc = 1..10 to argue
+that the convenient symbolic root is unique: the curves are parallel, so the
+number, order and type of the roots never change with pc.  The harness
+regenerates the same series (sampled on i = -2.5..3 like the paper's plot)
+and asserts the two facts the figure illustrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ranking_polynomial
+from repro.ir import Loop, LoopNest
+
+SAMPLES = [x / 2.0 for x in range(-5, 7)]      # i = -2.5 .. 3.0
+PC_VALUES = list(range(1, 11))
+
+
+def _figure6_nest() -> LoopNest:
+    return LoopNest(
+        [Loop.make("i", 0, "N - 1"), Loop.make("j", 0, "i + 1"), Loop.make("k", "j", "i + 1")],
+        parameters=["N"],
+        name="figure6",
+    )
+
+
+def test_figure8_series(benchmark):
+    nest = _figure6_nest()
+
+    def compute():
+        ranking = ranking_polynomial(nest)
+        # r(i, 0, 0): the deeper indices at their lexicographic minima
+        restricted = ranking.polynomial.substitute({"j": 0, "k": 0})
+        series = {}
+        for pc in PC_VALUES:
+            series[pc] = [float(restricted.evaluate({"i": i})) - pc for i in SAMPLES]
+        return series
+
+    series = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    header = ["i"] + [f"pc={pc}" for pc in PC_VALUES]
+    rows = []
+    for index, i in enumerate(SAMPLES):
+        rows.append([f"{i:+.1f}"] + [f"{series[pc][index]:7.2f}" for pc in PC_VALUES])
+    print("\n" + format_table(header, rows, title="Figure 8 — r(i, 0, 0) - pc for the Fig. 6 nest"))
+
+    # parallel curves: the gap between consecutive pc curves is exactly 1 everywhere
+    for pc in PC_VALUES[:-1]:
+        gaps = [a - b for a, b in zip(series[pc], series[pc + 1])]
+        assert all(abs(gap - 1.0) < 1e-9 for gap in gaps)
+    # each curve is monotonically increasing over the actual index domain
+    # (i >= 0); on the negative side the cubic dips, exactly as in the
+    # paper's plot
+    non_negative = [index for index, i in enumerate(SAMPLES) if i >= 0]
+    for pc in PC_VALUES:
+        values = [series[pc][index] for index in non_negative]
+        assert all(b > a for a, b in zip(values, values[1:]))
+    # and the pc = 1 curve crosses zero at i = 0 (the first iteration has rank 1)
+    assert abs(series[1][SAMPLES.index(0.0)]) < 1e-9

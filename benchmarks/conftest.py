@@ -1,0 +1,40 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it
+computes the same rows/series the paper reports, prints them (run pytest
+with ``-s`` to see the tables), asserts the *shape* documented in
+EXPERIMENTS.md, and times the computation through pytest-benchmark.
+
+The problem sizes default to the kernels' ``bench_parameters`` so the whole
+harness completes in a couple of minutes; pass ``--paper-scale`` to use the
+larger ``default_parameters`` instead.
+"""
+
+import pytest
+
+#: thread count of the paper's test machine (12-core AMD Opteron 6172)
+PAPER_THREADS = 12
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at the larger default_parameters sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture(scope="session")
+def threads() -> int:
+    return PAPER_THREADS
+
+
+def kernel_sizes(kernel, paper_scale: bool):
+    """The parameter values a benchmark should use for one kernel."""
+    return dict(kernel.default_parameters if paper_scale else kernel.bench_parameters)

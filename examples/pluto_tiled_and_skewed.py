@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Collapsing Pluto-transformed loops: skewed stencils and tiled triangles.
+
+The paper applies its tool to nests that the Pluto compiler has already
+transformed, because those transformations (skewing, tiling) routinely
+produce non-rectangular loops.  This example regenerates both situations
+with the Pluto-lite transforms of :mod:`repro.transforms`:
+
+1. a 1-d stencil whose inner loop is skewed by the time loop — the resulting
+   rhomboid is collapsed and validated;
+2. the correlation triangle tiled 32x32 — the triangular *tile* domain, with
+   its partially-full boundary tiles, is collapsed and the three schedules of
+   Fig. 9 are compared on it.
+
+Run with::
+
+    python examples/pluto_tiled_and_skewed.py [N]
+"""
+
+import sys
+
+from repro import collapse, generate_openmp_chunked
+from repro.analysis import format_table, gain
+from repro.ir import Loop, LoopNest, Statement, enumerate_iterations
+from repro.kernels import get_tiled_kernel
+from repro.openmp import ScheduleKind, simulate_collapsed_static, simulate_outer_parallel
+from repro.transforms import skew
+
+THREADS = 12
+
+
+def skewed_stencil_demo() -> None:
+    print("=== 1. skewing a stencil (wavefront parallelism) ===")
+    nest = LoopNest(
+        [Loop.make("t", 0, "T"), Loop.make("x", 1, "N - 1")],
+        statements=[Statement("update")],
+        parameters=["T", "N"],
+        name="stencil",
+    )
+    print("original nest:")
+    print(nest.source())
+    skewed = skew(nest, target="x", source="t", factor=1)
+    print("\nafter skewing x by t (Pluto-style wavefront):")
+    print(skewed.source())
+
+    collapsed = collapse(skewed, 2)
+    values = {"T": 8, "N": 12}
+    assert collapsed.validate(values)
+    print("\ncollapsed trip count:", collapsed.total_polynomial)
+    print("first iterations:", [collapsed.recover_indices(pc, values) for pc in range(1, 6)])
+    print("matches the original order:", list(enumerate_iterations(skewed, values))[:5])
+
+
+def tiled_correlation_demo(n: int) -> None:
+    print("\n=== 2. collapsing the tile loops of the tiled correlation ===")
+    tiled = get_tiled_kernel("correlation_tiled")
+    values = {"N": n}
+    tile_values = tiled.tile_parameters(values)
+    print(f"tile size {tiled.tiled.tile_size}, tile domain parameters: {tile_values}")
+    print(tiled.tile_nest.source())
+
+    collapsed = tiled.collapsed()
+    print("\ncollapsed tile loop:")
+    print(collapsed.describe())
+    print("\ngenerated OpenMP C for the tile loops:")
+    print(generate_openmp_chunked(collapsed))
+
+    static = simulate_outer_parallel(
+        tiled.tile_nest, tile_values, THREADS, ScheduleKind.STATIC,
+        work_function=tiled.outer_work_function(values),
+    )
+    dynamic = simulate_outer_parallel(
+        tiled.tile_nest, tile_values, THREADS, ScheduleKind.DYNAMIC, chunk_size=1,
+        work_function=tiled.outer_work_function(values),
+    )
+    ours = simulate_collapsed_static(
+        collapsed, tile_values, THREADS, work_function=tiled.work_function(values)
+    )
+    rows = [
+        ["schedule(static) on tile rows", f"{static.makespan:.0f}", "-"],
+        ["schedule(dynamic) on tile rows", f"{dynamic.makespan:.0f}", f"{gain(dynamic.makespan, ours.makespan):+.1%} gain for collapsing"],
+        ["collapsed tile loops, static", f"{ours.makespan:.0f}", f"{gain(static.makespan, ours.makespan):+.1%} gain vs static"],
+    ]
+    print(format_table(["configuration", "simulated time", "note"], rows, title=f"tiled correlation, N={n}, {THREADS} threads"))
+
+
+def main(n: int = 400) -> None:
+    skewed_stencil_demo()
+    tiled_correlation_demo(n)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

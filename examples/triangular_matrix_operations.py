@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Triangular-matrix workloads: utma and ltmp (Section VII's handwritten programs).
+
+The example reproduces, at laptop scale, the story the paper tells about its
+two handwritten kernels:
+
+* ``utma`` (upper-triangular matrix add) — the whole nest is collapsed; the
+  collapsed static schedule balances the triangle perfectly while the
+  original static schedule leaves the first thread with twice the work.
+* ``ltmp`` (lower-triangular matrix product) — the inner reduction loop
+  cannot be collapsed; the collapsed loop keeps some imbalance and the
+  dynamic schedule wins (the one negative bar of Fig. 9).
+
+The numerical results of the collapsed executions are checked against the
+original loop order and a vectorised NumPy formula before anything is timed.
+
+Run with::
+
+    python examples/triangular_matrix_operations.py [N]
+"""
+
+import sys
+
+from repro.analysis import GainRow, format_table, iteration_distribution, load_balance_report
+from repro.kernels import get_kernel, verify_kernel
+from repro.openmp import ScheduleKind, simulate_collapsed_static, simulate_outer_parallel
+
+THREADS = 12
+
+
+def analyse(name: str, n: int) -> GainRow:
+    kernel = get_kernel(name)
+    values = {"N": n}
+
+    print(f"\n=== {name}: {kernel.description} ===")
+    print(kernel.nest.source())
+
+    print("\ncorrectness: original order == collapsed chunks == NumPy reference ...", end=" ")
+    ok = verify_kernel(kernel, {"N": min(n, 120)}, threads=THREADS)
+    print("OK" if ok else "FAILED")
+    if not ok:
+        raise SystemExit(1)
+
+    distribution = iteration_distribution(kernel.nest, values, THREADS)
+    report = load_balance_report(distribution)
+    print(
+        f"static split of the outer loop over {THREADS} threads: "
+        f"max/mean load = {report.imbalance:.2f} (1.00 would be balanced)"
+    )
+
+    cost_model = kernel.cost_model()
+    static = simulate_outer_parallel(kernel.nest, values, THREADS, ScheduleKind.STATIC, cost_model=cost_model)
+    dynamic = simulate_outer_parallel(
+        kernel.nest, values, THREADS, ScheduleKind.DYNAMIC, chunk_size=kernel.dynamic_chunk, cost_model=cost_model
+    )
+    collapsed = simulate_collapsed_static(kernel.collapsed(), values, THREADS, cost_model=cost_model)
+    return GainRow(
+        program=name,
+        time_static=static.makespan,
+        time_dynamic=dynamic.makespan,
+        time_collapsed=collapsed.makespan,
+    )
+
+
+def main(n: int = 300) -> None:
+    rows = [analyse("utma", n), analyse("ltmp", max(80, n // 2))]
+    print()
+    print(
+        format_table(
+            ["program", "t(static)", "t(dynamic)", "t(collapsed)", "gain vs static", "gain vs dynamic"],
+            [row.as_table_row() for row in rows],
+            title=f"simulated execution times ({THREADS} threads, arbitrary units)",
+        )
+    )
+    print(
+        "\nas in the paper: utma gains strongly over the static baseline, while for ltmp the\n"
+        "non-collapsible inner reduction keeps an imbalance and schedule(dynamic) stays ahead."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 300)

@@ -1,0 +1,81 @@
+"""Load-balance metrics and the Fig. 2 iteration distribution.
+
+Figure 2 of the paper shows how a static schedule of the outermost loop of
+the correlation nest distributes wildly different amounts of work to 5
+threads (the first thread owns the widest rows of the triangle).  These
+helpers compute that distribution — in iterations of the full nest, i.e. in
+units of actual work — for any nest and thread count, plus the summary
+metrics used by the benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..ir import LoopNest, enumerate_iterations
+from ..openmp.costmodel import CostModel
+from ..openmp.schedule import static_schedule
+from ..openmp.simulator import SimulationResult
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Summary of how evenly work is spread over the threads."""
+
+    per_thread: tuple
+    max_load: float
+    min_load: float
+    mean_load: float
+
+    @property
+    def imbalance(self) -> float:
+        """max / mean — 1.0 means perfect balance; Fig. 2's static split is ~2x."""
+        return self.max_load / self.mean_load if self.mean_load else 1.0
+
+    @property
+    def spread(self) -> float:
+        """max / min over the threads that received any work."""
+        return self.max_load / self.min_load if self.min_load else float("inf")
+
+
+def iteration_distribution(
+    nest: LoopNest,
+    parameter_values: Mapping[str, int],
+    threads: int,
+    cost_model: Optional[CostModel] = None,
+) -> List[float]:
+    """Work received by each thread when the *outermost* loop is split statically.
+
+    This reproduces Fig. 2: thread 0 gets the first ``ceil(rows/threads)``
+    rows of the triangle, and with them far more inner iterations than the
+    last thread.
+    """
+    cost_model = cost_model or CostModel(nest)
+    work_of = cost_model.compile_work(1, parameter_values)
+    outer_values = [indices[0] for indices in enumerate_iterations(nest, parameter_values, depth=1)]
+    loads = [0.0] * threads
+    for chunk in static_schedule(len(outer_values), threads):
+        loads[chunk.thread] += sum(
+            work_of(outer_values[index]) for index in range(chunk.first - 1, chunk.last)
+        )
+    return loads
+
+
+def load_balance_report(loads: Sequence[float]) -> LoadBalanceReport:
+    """Summarise a per-thread load vector (from the simulator or the distribution)."""
+    values = list(loads)
+    if not values:
+        return LoadBalanceReport(per_thread=(), max_load=0.0, min_load=0.0, mean_load=0.0)
+    active = [v for v in values if v > 0]
+    return LoadBalanceReport(
+        per_thread=tuple(values),
+        max_load=max(values),
+        min_load=min(active) if active else 0.0,
+        mean_load=sum(values) / len(values),
+    )
+
+
+def report_from_simulation(result: SimulationResult) -> LoadBalanceReport:
+    """Load-balance view of a simulated execution (busy times per thread)."""
+    return load_balance_report(result.busy_times())

@@ -1,0 +1,50 @@
+"""The paper's contribution: collapsing non-rectangular loops.
+
+* :mod:`repro.core.ranking` — ranking Ehrhart polynomials (Section III),
+* :mod:`repro.core.unranking` — their inversion: per-index symbolic roots,
+  convenient-root selection, guarded floors and the exact bisection fallback
+  (Section IV),
+* :mod:`repro.core.collapse` — the end-to-end collapse transformation,
+* :mod:`repro.core.recovery` — index-recovery strategies, including the
+  reduced-overhead once-per-chunk scheme (Section V),
+* :mod:`repro.core.codegen_python` / :mod:`repro.core.codegen_c` — executable
+  Python code generation and Figure 3/4/7-style OpenMP C text,
+* :mod:`repro.core.vectorize` / :mod:`repro.core.gpu` — the vectorisation and
+  GPU-warp recovery schemes of Section VI.
+"""
+
+from .ranking import RankingPolynomial, ranking_polynomial
+from .unranking import IndexRecovery, UnrankingFunction, build_unranking, UnrankingError
+from .collapse import CollapseError, CollapsedLoop, collapse
+from .recovery import RecoveryStrategy, RecoveryStats, iterate_chunk, recover_range
+from .codegen_python import generate_python_source, compile_collapsed_loop
+from .codegen_c import generate_openmp_collapsed, generate_openmp_chunked
+from .vectorize import VectorizedExecution, vectorize_collapsed
+from .gpu import WarpExecution, warp_schedule
+from .remap import IterationRemap, RemapError
+
+__all__ = [
+    "RankingPolynomial",
+    "ranking_polynomial",
+    "IndexRecovery",
+    "UnrankingFunction",
+    "build_unranking",
+    "UnrankingError",
+    "CollapseError",
+    "CollapsedLoop",
+    "collapse",
+    "RecoveryStrategy",
+    "RecoveryStats",
+    "iterate_chunk",
+    "recover_range",
+    "generate_python_source",
+    "compile_collapsed_loop",
+    "generate_openmp_collapsed",
+    "generate_openmp_chunked",
+    "VectorizedExecution",
+    "vectorize_collapsed",
+    "WarpExecution",
+    "warp_schedule",
+    "IterationRemap",
+    "RemapError",
+]

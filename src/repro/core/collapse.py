@@ -1,0 +1,156 @@
+"""The end-to-end collapse transformation.
+
+``collapse(nest, depth)`` bundles the whole pipeline of the paper:
+
+1. check the preconditions (perfect nest with affine bounds — enforced by
+   the IR — and, optionally, absence of carried dependences on the levels
+   being collapsed),
+2. build the ranking Ehrhart polynomial of the ``depth`` outer loops
+   (Section III),
+3. invert it into per-index recovery expressions (Section IV),
+4. wrap everything into a :class:`CollapsedLoop`, the object the schedulers,
+   code generators and executors consume.
+
+The resulting single loop runs ``pc = 1 .. total`` and recovers
+``(i1, ..., ic)`` from ``pc``; its iteration order is exactly the original
+lexicographic order, which is what makes the transformation transparent to
+the loop body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Tuple
+
+from ..ir import LoopNest, enumerate_iterations, may_carry_dependence
+from ..symbolic import Polynomial
+from .ranking import RankingPolynomial, ranking_polynomial
+from .unranking import UnrankingFunction, build_unranking
+
+
+class CollapseError(ValueError):
+    """Raised when a nest cannot be collapsed at the requested depth."""
+
+
+@dataclass(frozen=True)
+class CollapsedLoop:
+    """A collapsed (flattened) view of the ``depth`` outer loops of ``nest``."""
+
+    nest: LoopNest
+    depth: int
+    ranking: RankingPolynomial
+    unranking: UnrankingFunction
+    pc_name: str = "pc"
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def iterators(self) -> Tuple[str, ...]:
+        return self.nest.iterators[: self.depth]
+
+    @property
+    def total_polynomial(self) -> Polynomial:
+        """Symbolic trip count of the collapsed loop (upper bound of ``pc``)."""
+        return self.ranking.total
+
+    def total_iterations(self, parameter_values: Mapping[str, int]) -> int:
+        return self.ranking.total_iterations(parameter_values)
+
+    def uses_only_closed_forms(self) -> bool:
+        """True when every recovered index uses a paper-style closed form."""
+        return self.unranking.uses_only_closed_forms()
+
+    # ------------------------------------------------------------------ #
+    # execution-order views
+    # ------------------------------------------------------------------ #
+    def recover_indices(self, pc: int, parameter_values: Mapping[str, int]) -> Tuple[int, ...]:
+        """Original indices of the collapsed iteration ``pc`` (1-based)."""
+        return self.unranking.recover(pc, parameter_values)
+
+    def rank_of(self, indices, parameter_values: Mapping[str, int]) -> int:
+        """Rank of an original iteration — the inverse of :meth:`recover_indices`."""
+        return self.ranking.rank(indices, parameter_values)
+
+    def iterations(self, parameter_values: Mapping[str, int]) -> Iterator[Tuple[int, ...]]:
+        """Iterate the collapsed loop, recovering the indices at every ``pc``.
+
+        This is the "costly recovery at every iteration" execution scheme
+        (Fig. 3); the chunked schemes of Section V live in
+        :mod:`repro.core.recovery`.
+        """
+        total = self.total_iterations(parameter_values)
+        for pc in range(1, total + 1):
+            yield self.recover_indices(pc, parameter_values)
+
+    def validate(self, parameter_values: Mapping[str, int]) -> bool:
+        """Semantic check: the collapsed order equals the original order."""
+        original = list(enumerate_iterations(self.nest, parameter_values, self.depth))
+        collapsed = list(self.iterations(parameter_values))
+        return original == collapsed
+
+    def describe(self) -> str:
+        lines = [
+            f"collapse of the {self.depth} outer loops of {self.nest.name!r}",
+            f"  trip count: {self.total_polynomial}",
+            f"  ranking   : {self.ranking.polynomial}",
+        ]
+        for recovery in self.unranking.recoveries:
+            lines.append(f"  {recovery.describe()}")
+        return "\n".join(lines)
+
+
+def collapse(
+    nest: LoopNest,
+    depth: Optional[int] = None,
+    *,
+    check_dependences: bool = False,
+    sample_parameters: Optional[Mapping[str, int]] = None,
+    pc_name: str = "pc",
+    guard: bool = True,
+    allow_bisection_fallback: bool = True,
+) -> CollapsedLoop:
+    """Collapse the ``depth`` outermost loops of ``nest`` into a single loop.
+
+    Parameters
+    ----------
+    nest:
+        The perfect affine loop nest (Fig. 5 model).
+    depth:
+        Number of outer loops to collapse; defaults to the whole nest.  This
+        is the argument of the OpenMP ``collapse(n)`` clause the paper
+        extends to non-rectangular loops.
+    check_dependences:
+        When ``True``, run the polyhedral dependence test on the collapsed
+        levels and refuse to collapse if a carried dependence may exist.
+        (The paper relies on the parallelising compiler for this check.)
+    sample_parameters:
+        Concrete sizes used to select/validate the convenient symbolic roots.
+    guard:
+        Enable the exact-arithmetic bracket guard around the floating-point
+        floor (recommended; see DESIGN.md).
+    allow_bisection_fallback:
+        Allow levels whose inversion is outside the paper's degree-4 limit to
+        fall back to exact bisection instead of failing.
+    """
+    depth = nest.depth if depth is None else depth
+    if not 1 <= depth <= nest.depth:
+        raise CollapseError(f"collapse depth must be in 1..{nest.depth}, got {depth}")
+    if depth == 1:
+        # collapsing one loop is the identity transformation, but it is still
+        # useful to expose it uniformly (rank == pc == i1 - lower + 1)
+        pass
+    if check_dependences and may_carry_dependence(nest, depth):
+        raise CollapseError(
+            f"the {depth} outer loops of {nest.name!r} may carry a data dependence; "
+            "collapsing them would not preserve the program's semantics"
+        )
+    ranking = ranking_polynomial(nest, depth)
+    unranking = build_unranking(
+        ranking,
+        sample_parameters=sample_parameters,
+        pc_name=pc_name,
+        guard=guard,
+        allow_bisection_fallback=allow_bisection_fallback,
+    )
+    return CollapsedLoop(nest=nest, depth=depth, ranking=ranking, unranking=unranking, pc_name=pc_name)

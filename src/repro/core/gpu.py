@@ -1,0 +1,73 @@
+"""GPU-warp execution scheme for collapsed loops (Section VI-B).
+
+On a GPU, consecutive collapsed iterations are distributed over the ``W``
+threads of a warp so that memory accesses coalesce: thread ``t`` executes
+the iterations ``pc = t+1, t+1+W, t+1+2W, ...``.  After its single costly
+recovery, each thread obtains its next index tuple by applying the original
+loop-nest incrementation ``W`` times (the paper's
+``for (inc = 0; inc < W; inc++) Incrementation(Indices);``).
+
+:func:`warp_schedule` reproduces the scheme and returns, per thread, the
+sequence of index tuples it executes together with the cost counters; the
+tests check that the union of all threads' work is exactly the original
+iteration set and that each thread paid exactly one costly recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Tuple
+
+from ..ir import Odometer
+from .collapse import CollapsedLoop
+from .recovery import RecoveryStats
+
+
+@dataclass
+class WarpExecution:
+    """The work of one GPU thread within a warp."""
+
+    thread: int
+    warp_size: int
+    iterations: List[Tuple[int, ...]] = field(default_factory=list)
+    stats: RecoveryStats = field(default_factory=RecoveryStats)
+
+
+def warp_schedule(
+    collapsed: CollapsedLoop,
+    parameter_values: Mapping[str, int],
+    warp_size: int,
+    first_pc: int = 1,
+    last_pc: int | None = None,
+) -> List[WarpExecution]:
+    """Simulate the Section VI-B scheme over ``pc`` in ``[first_pc, last_pc]``.
+
+    Returns one :class:`WarpExecution` per warp thread.  Thread ``t`` starts
+    at ``pc = first_pc + t`` (one costly recovery) and then advances by
+    ``warp_size`` odometer increments between iterations.
+    """
+    if warp_size < 1:
+        raise ValueError("warp_size must be at least 1")
+    total = collapsed.total_iterations(parameter_values)
+    last_pc = total if last_pc is None else min(last_pc, total)
+
+    odometer = Odometer(collapsed.nest, parameter_values, collapsed.depth)
+    executions: List[WarpExecution] = []
+    for thread in range(warp_size):
+        execution = WarpExecution(thread=thread, warp_size=warp_size)
+        pc = first_pc + thread
+        if pc <= last_pc:
+            current = collapsed.recover_indices(pc, parameter_values)
+            execution.stats.costly_recoveries += 1
+            while pc <= last_pc:
+                execution.iterations.append(current)
+                execution.stats.iterations += 1
+                pc += warp_size
+                if pc <= last_pc:
+                    advanced = odometer.advance(current, warp_size)
+                    execution.stats.increments += warp_size
+                    if advanced is None:
+                        raise ValueError("warp stride ran past the end of the collapsed loop")
+                    current = advanced
+        executions.append(execution)
+    return executions

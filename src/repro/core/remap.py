@@ -1,0 +1,114 @@
+"""Cross-shape iteration remapping (the paper's "future work" application).
+
+The conclusion of the paper lists, as a planned application of ranking /
+unranking, "the computation of a loop nest from another loop nest of a
+different shape, or the fusion of loop nests of different shapes".  Both
+reduce to the same primitive: a *bijection between two iteration domains of
+equal cardinality*, obtained by ranking an iteration in the first domain and
+unranking that rank in the second.
+
+:class:`IterationRemap` packages that primitive on top of two
+:class:`~repro.core.collapse.CollapsedLoop` objects:
+
+* ``map_indices`` sends an iteration of the source nest to the iteration of
+  the target nest that occupies the same lexicographic position,
+* ``fused_iterations`` walks both domains in lockstep — the building block
+  of shape-heterogeneous loop fusion: one collapsed ``pc`` loop driving the
+  bodies of both nests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, Tuple
+
+from ..ir import LoopNest
+from .collapse import CollapsedLoop, collapse
+
+
+class RemapError(ValueError):
+    """Raised when the two domains cannot be put in bijection."""
+
+
+@dataclass(frozen=True)
+class IterationRemap:
+    """A rank-preserving bijection between two collapsed iteration domains."""
+
+    source: CollapsedLoop
+    target: CollapsedLoop
+
+    @staticmethod
+    def between(
+        source_nest: LoopNest,
+        target_nest: LoopNest,
+        source_depth: int | None = None,
+        target_depth: int | None = None,
+    ) -> "IterationRemap":
+        """Build the remap by collapsing both nests."""
+        return IterationRemap(
+            source=collapse(source_nest, source_depth),
+            target=collapse(target_nest, target_depth),
+        )
+
+    # ------------------------------------------------------------------ #
+    # size checks
+    # ------------------------------------------------------------------ #
+    def check_compatible(
+        self,
+        source_parameters: Mapping[str, int],
+        target_parameters: Mapping[str, int],
+    ) -> int:
+        """Both domains must have the same number of iterations; returns it."""
+        source_total = self.source.total_iterations(source_parameters)
+        target_total = self.target.total_iterations(target_parameters)
+        if source_total != target_total:
+            raise RemapError(
+                f"domains have different sizes: {self.source.nest.name!r} has {source_total} "
+                f"iterations, {self.target.nest.name!r} has {target_total}"
+            )
+        return source_total
+
+    # ------------------------------------------------------------------ #
+    # the bijection
+    # ------------------------------------------------------------------ #
+    def map_indices(
+        self,
+        source_indices: Sequence[int],
+        source_parameters: Mapping[str, int],
+        target_parameters: Mapping[str, int],
+    ) -> Tuple[int, ...]:
+        """Target-domain indices occupying the same rank as ``source_indices``."""
+        rank = self.source.rank_of(source_indices, source_parameters)
+        return self.target.recover_indices(rank, target_parameters)
+
+    def inverse_indices(
+        self,
+        target_indices: Sequence[int],
+        source_parameters: Mapping[str, int],
+        target_parameters: Mapping[str, int],
+    ) -> Tuple[int, ...]:
+        """The inverse direction of :meth:`map_indices`."""
+        rank = self.target.rank_of(target_indices, target_parameters)
+        return self.source.recover_indices(rank, source_parameters)
+
+    def fused_iterations(
+        self,
+        source_parameters: Mapping[str, int],
+        target_parameters: Mapping[str, int],
+        first_pc: int = 1,
+        last_pc: int | None = None,
+    ) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Walk both domains in lockstep: yields ``(source_indices, target_indices)``.
+
+        This is the execution order a fused loop would use — a single ``pc``
+        loop (which can itself be scheduled statically over threads through
+        ``first_pc`` / ``last_pc``) driving one iteration of each shape per
+        step.
+        """
+        total = self.check_compatible(source_parameters, target_parameters)
+        last_pc = total if last_pc is None else min(last_pc, total)
+        for pc in range(first_pc, last_pc + 1):
+            yield (
+                self.source.recover_indices(pc, source_parameters),
+                self.target.recover_indices(pc, target_parameters),
+            )

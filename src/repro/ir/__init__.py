@@ -1,0 +1,31 @@
+"""Loop-nest intermediate representation.
+
+The collapser consumes perfectly nested affine loop nests — the model of
+Fig. 5 of the paper.  This subpackage defines that representation
+(:class:`~repro.ir.loopnest.Loop`, :class:`~repro.ir.loopnest.LoopNest`,
+array accesses and statements), a small C-like textual parser so examples
+read like the paper's listings, conservative dependence tests used to check
+the "no carried dependence" precondition, and concrete iteration utilities
+(lexicographic enumeration and the odometer incrementation that Section V's
+cheap index recovery relies on).
+"""
+
+from .loopnest import ArrayAccess, Loop, LoopNest, Statement
+from .parser import parse_loop_nest, ParseError
+from .dependences import DependenceTestResult, may_carry_dependence, dependence_report
+from .iteration import Odometer, enumerate_iterations, iteration_count
+
+__all__ = [
+    "ArrayAccess",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "parse_loop_nest",
+    "ParseError",
+    "DependenceTestResult",
+    "may_carry_dependence",
+    "dependence_report",
+    "Odometer",
+    "enumerate_iterations",
+    "iteration_count",
+]

@@ -1,0 +1,218 @@
+"""The loop-nest model of Fig. 5: perfect nests with affine bounds.
+
+A :class:`LoopNest` is a perfectly nested sequence of :class:`Loop`\\ s (each
+``for (i = lower; i < upper; i++)`` with affine bounds over outer iterators
+and parameters) around a body of :class:`Statement`\\ s.  Statements carry
+
+* the :class:`ArrayAccess`\\ es they perform (affine subscripts), used by the
+  dependence tests, and
+* optionally a Python callable, used by the executors and by the kernel
+  reference implementations to actually run the nest.
+
+The class also knows how to validate that it fits the model the paper's
+collapser accepts and to hand out its iteration domain / trip count through
+the polyhedral substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..polyhedra import AffineExpr, Polyhedron
+from ..polyhedra.counting import loop_nest_count
+from ..symbolic import Polynomial
+
+
+@dataclass(frozen=True)
+class Loop:
+    """``for (iterator = lower; iterator < upper; iterator++)``.
+
+    ``upper`` is always *exclusive*, matching both the paper's Fig. 5 model
+    and C's idiomatic loop form.  ``parallel`` records whether the loop is
+    marked parallel (e.g. carries an ``omp for`` pragma in the source the
+    nest was extracted from).
+    """
+
+    iterator: str
+    lower: AffineExpr
+    upper: AffineExpr
+    parallel: bool = True
+
+    @staticmethod
+    def make(iterator: str, lower, upper, parallel: bool = True) -> "Loop":
+        return Loop(iterator, AffineExpr.coerce(lower), AffineExpr.coerce(upper), parallel)
+
+    def trip_count_expression(self) -> Polynomial:
+        """Symbolic trip count ``upper - lower`` (valid when non-negative)."""
+        return (self.upper - self.lower).to_polynomial()
+
+    def header_source(self) -> str:
+        return f"for ({self.iterator} = {self.lower}; {self.iterator} < {self.upper}; {self.iterator}++)"
+
+    def __str__(self) -> str:
+        return self.header_source()
+
+
+@dataclass(frozen=True)
+class ArrayAccess:
+    """``array[subscripts...]`` with affine subscripts; read or write."""
+
+    array: str
+    subscripts: Tuple[AffineExpr, ...]
+    is_write: bool = False
+
+    @staticmethod
+    def read(array: str, *subscripts) -> "ArrayAccess":
+        return ArrayAccess(array, tuple(AffineExpr.coerce(s) for s in subscripts), False)
+
+    @staticmethod
+    def write(array: str, *subscripts) -> "ArrayAccess":
+        return ArrayAccess(array, tuple(AffineExpr.coerce(s) for s in subscripts), True)
+
+    def __str__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        indices = "][".join(str(s) for s in self.subscripts)
+        return f"{kind}:{self.array}[{indices}]"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A statement instance parameterised by the loop iterators.
+
+    ``compute`` is an optional callable ``compute(indices, arrays)`` invoked
+    by the executors with a ``{iterator: value}`` mapping and the dictionary
+    of NumPy arrays (or any other state) attached to the run.
+    """
+
+    name: str
+    accesses: Tuple[ArrayAccess, ...] = ()
+    compute: Optional[Callable[[Mapping[str, int], Dict[str, object]], None]] = None
+
+    def reads(self) -> Tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if not a.is_write)
+
+    def writes(self) -> Tuple[ArrayAccess, ...]:
+        return tuple(a for a in self.accesses if a.is_write)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.accesses)})"
+
+
+class LoopNest:
+    """A perfect nest of affine loops around a sequence of statements."""
+
+    def __init__(
+        self,
+        loops: Sequence[Loop],
+        statements: Sequence[Statement] = (),
+        parameters: Sequence[str] = (),
+        name: str = "nest",
+    ):
+        if not loops:
+            raise ValueError("a loop nest needs at least one loop")
+        self.loops: Tuple[Loop, ...] = tuple(loops)
+        self.statements: Tuple[Statement, ...] = tuple(statements)
+        self.parameters: Tuple[str, ...] = tuple(parameters)
+        self.name = name
+        iterators = [loop.iterator for loop in self.loops]
+        if len(set(iterators)) != len(iterators):
+            raise ValueError(f"duplicate iterator names in nest {name!r}: {iterators}")
+        self._validate_bound_scoping()
+
+    # ------------------------------------------------------------------ #
+    # validation of the Fig. 5 model
+    # ------------------------------------------------------------------ #
+    def _validate_bound_scoping(self) -> None:
+        """Every bound may only mention parameters and *outer* iterators."""
+        seen: set = set(self.parameters)
+        for depth, loop in enumerate(self.loops):
+            for bound, which in ((loop.lower, "lower"), (loop.upper, "upper")):
+                unknown = bound.variables() - seen
+                if unknown:
+                    raise ValueError(
+                        f"loop {loop.iterator!r} (depth {depth}) has a {which} bound "
+                        f"using {sorted(unknown)}, which are neither parameters nor "
+                        "outer iterators — the nest does not fit the Fig. 5 model"
+                    )
+            seen.add(loop.iterator)
+
+    # ------------------------------------------------------------------ #
+    # shape queries
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def iterators(self) -> Tuple[str, ...]:
+        return tuple(loop.iterator for loop in self.loops)
+
+    def loop(self, iterator: str) -> Loop:
+        for loop in self.loops:
+            if loop.iterator == iterator:
+                return loop
+        raise KeyError(f"no loop with iterator {iterator!r}")
+
+    def bounds(self) -> List[Tuple[str, AffineExpr, AffineExpr]]:
+        """The ``(iterator, lower, upper_exclusive)`` triples, outermost first."""
+        return [(loop.iterator, loop.lower, loop.upper) for loop in self.loops]
+
+    def is_rectangular(self, depth: Optional[int] = None) -> bool:
+        """True when the first ``depth`` loops have bounds free of any iterator.
+
+        This is exactly the condition under which OpenMP's own ``collapse``
+        clause applies; the paper's contribution is the non-rectangular case.
+        """
+        depth = self.depth if depth is None else depth
+        iterators = set(self.iterators)
+        for loop in self.loops[:depth]:
+            if (loop.lower.variables() | loop.upper.variables()) & iterators:
+                return False
+        return True
+
+    def prefix(self, depth: int, name: Optional[str] = None) -> "LoopNest":
+        """The sub-nest made of the ``depth`` outermost loops."""
+        if not 1 <= depth <= self.depth:
+            raise ValueError(f"prefix depth must be in 1..{self.depth}")
+        return LoopNest(
+            self.loops[:depth],
+            self.statements if depth == self.depth else (),
+            self.parameters,
+            name or f"{self.name}_outer{depth}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # polyhedral views
+    # ------------------------------------------------------------------ #
+    def domain(self, depth: Optional[int] = None) -> Polyhedron:
+        """Iteration domain of the ``depth`` outermost loops as a polyhedron."""
+        depth = self.depth if depth is None else depth
+        return Polyhedron.from_bounds(self.bounds()[:depth], self.parameters)
+
+    def iteration_count(self, depth: Optional[int] = None) -> Polynomial:
+        """Symbolic trip count (Ehrhart polynomial) of the ``depth`` outer loops."""
+        depth = self.depth if depth is None else depth
+        return loop_nest_count(self.bounds()[:depth])
+
+    # ------------------------------------------------------------------ #
+    # printing
+    # ------------------------------------------------------------------ #
+    def source(self) -> str:
+        """Pretty C-like source of the nest (headers + statement names)."""
+        lines = []
+        for depth, loop in enumerate(self.loops):
+            lines.append("  " * depth + loop.header_source())
+        body_indent = "  " * self.depth
+        if self.statements:
+            for statement in self.statements:
+                lines.append(f"{body_indent}{statement.name}({', '.join(self.iterators)});")
+        else:
+            lines.append(f"{body_indent}S({', '.join(self.iterators)});")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.source()
+
+    def __repr__(self) -> str:
+        return f"LoopNest({self.name!r}, depth={self.depth}, parameters={list(self.parameters)})"

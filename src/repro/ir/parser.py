@@ -1,0 +1,127 @@
+"""A small C-like textual front end for loop nests.
+
+The paper's tool consumes C sources annotated with OpenMP pragmas.  This
+parser accepts the same *shape* of input for the loop headers so that
+examples and tests can be written the way the paper prints them::
+
+    #pragma omp parallel for collapse(2) schedule(static)
+    for (i = 0; i < N - 1; i++)
+      for (j = i + 1; j < N; j++)
+        S(i, j);
+
+Only the subset needed for the Fig. 5 model is supported: perfectly nested
+``for`` loops with ``<`` or ``<=`` upper bounds, unit increments, affine
+bound expressions, an optional ``collapse(n)`` pragma and a single statement
+line naming the body.  Anything else raises :class:`ParseError` with a
+useful message.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..polyhedra import AffineExpr
+from .loopnest import Loop, LoopNest, Statement
+
+_FOR_RE = re.compile(
+    r"""for\s*\(\s*
+        (?:int\s+)?(?P<iterator>[A-Za-z_]\w*)\s*=\s*(?P<lower>[^;]+);\s*
+        (?P<iterator2>[A-Za-z_]\w*)\s*(?P<relation><=|<)\s*(?P<upper>[^;]+);\s*
+        (?P<iterator3>[A-Za-z_]\w*)\s*(?:\+\+|\+=\s*1)\s*
+        \)\s*\{?\s*$""",
+    re.VERBOSE,
+)
+
+_PRAGMA_RE = re.compile(r"#pragma\s+omp\s+.*", re.IGNORECASE)
+_COLLAPSE_RE = re.compile(r"collapse\s*\(\s*(\d+)\s*\)", re.IGNORECASE)
+_STATEMENT_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*\((?P<args>[^)]*)\)\s*;?\s*\}*\s*$")
+
+
+class ParseError(ValueError):
+    """Raised when the textual loop nest does not fit the supported subset."""
+
+
+@dataclass(frozen=True)
+class ParsedPragma:
+    """The information extracted from an ``#pragma omp`` line."""
+
+    collapse: Optional[int] = None
+    schedule: Optional[str] = None
+    chunk: Optional[int] = None
+
+
+def _parse_pragma(line: str) -> ParsedPragma:
+    collapse = None
+    schedule = None
+    chunk = None
+    match = _COLLAPSE_RE.search(line)
+    if match:
+        collapse = int(match.group(1))
+    schedule_match = re.search(r"schedule\s*\(\s*(\w+)\s*(?:,\s*(\d+)\s*)?\)", line, re.IGNORECASE)
+    if schedule_match:
+        schedule = schedule_match.group(1).lower()
+        if schedule_match.group(2):
+            chunk = int(schedule_match.group(2))
+    return ParsedPragma(collapse, schedule, chunk)
+
+
+def parse_loop_nest(
+    text: str,
+    parameters: Sequence[str] = (),
+    name: str = "parsed_nest",
+) -> Tuple[LoopNest, ParsedPragma]:
+    """Parse a textual loop nest into a :class:`LoopNest`.
+
+    ``parameters`` lists the symbolic size parameters (``N``, ``M``, ...);
+    any other identifier in a bound must be an outer iterator.  Returns the
+    nest together with the information found on the OpenMP pragma line (if
+    any), so callers can honour ``collapse(n)`` / ``schedule(...)`` requests.
+    """
+    pragma = ParsedPragma()
+    loops: List[Loop] = []
+    statements: List[Statement] = []
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("//"):
+            continue
+        if _PRAGMA_RE.match(line):
+            if loops:
+                raise ParseError("OpenMP pragmas are only supported before the outermost loop")
+            pragma = _parse_pragma(line)
+            continue
+        match = _FOR_RE.match(line)
+        if match:
+            iterator = match.group("iterator")
+            if match.group("iterator2") != iterator or match.group("iterator3") != iterator:
+                raise ParseError(
+                    f"loop header mixes iterators: {line!r} "
+                    f"(initialised {iterator!r}, tested {match.group('iterator2')!r})"
+                )
+            try:
+                lower = AffineExpr.parse(match.group("lower"))
+                upper = AffineExpr.parse(match.group("upper"))
+            except ValueError as error:
+                raise ParseError(f"non-affine bound in {line!r}: {error}") from error
+            if match.group("relation") == "<=":
+                upper = upper + 1
+            loops.append(Loop(iterator, lower, upper))
+            continue
+        statement_match = _STATEMENT_RE.match(line)
+        if statement_match and loops:
+            statements.append(Statement(statement_match.group("name")))
+            continue
+        if line in ("{", "}", "};"):
+            continue
+        raise ParseError(f"unsupported line: {raw_line!r}")
+
+    if not loops:
+        raise ParseError("no for-loop headers found")
+
+    try:
+        nest = LoopNest(loops, statements, parameters, name)
+    except ValueError as error:
+        raise ParseError(str(error)) from error
+    return nest, pragma

@@ -1,0 +1,82 @@
+"""The :class:`Kernel` description and the kernel registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..core import CollapsedLoop, collapse
+from ..ir import LoopNest
+from ..openmp.costmodel import CostModel, RecoveryCosts
+
+#: data dictionary produced by ``make_data`` (NumPy arrays keyed by name)
+DataDict = Dict[str, object]
+#: ``iteration_op(data, indices, parameter_values)`` applies one collapsed iteration
+IterationOp = Callable[[DataDict, Tuple[int, ...], Mapping[str, int]], None]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One program of the evaluation: its collapsible nest and how to run it."""
+
+    name: str
+    nest: LoopNest
+    collapse_depth: int
+    description: str
+    default_parameters: Mapping[str, int]
+    bench_parameters: Mapping[str, int]
+    #: chunk size of the ``schedule(dynamic)`` baseline (OpenMP's default is 1)
+    dynamic_chunk: int = 1
+    #: kernels whose innermost loop cannot be collapsed (ltmp) keep a
+    #: per-collapsed-iteration work that varies with the indices; purely
+    #: element-wise kernels have constant work 1.
+    make_data: Optional[Callable[[Mapping[str, int]], DataDict]] = None
+    iteration_op: Optional[IterationOp] = None
+    reference_numpy: Optional[Callable[[DataDict, Mapping[str, int]], DataDict]] = None
+    check_dependences: bool = True
+
+    # ------------------------------------------------------------------ #
+    # derived objects
+    # ------------------------------------------------------------------ #
+    def collapsed(self, **kwargs) -> CollapsedLoop:
+        """Collapse the kernel's parallel loops (checking dependences by default)."""
+        kwargs.setdefault("check_dependences", self.check_dependences and bool(self.nest.statements))
+        return collapse(self.nest, self.collapse_depth, **kwargs)
+
+    def cost_model(self, costs: Optional[RecoveryCosts] = None) -> CostModel:
+        return CostModel(self.nest, costs)
+
+    @property
+    def is_executable(self) -> bool:
+        """True when the kernel can actually be run on NumPy data."""
+        return self.make_data is not None and self.iteration_op is not None
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register_kernel(kernel: Kernel) -> Kernel:
+    """Add a kernel to the global registry (used at import time by the modules)."""
+    if kernel.name in _REGISTRY:
+        raise ValueError(f"kernel {kernel.name!r} is already registered")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def all_kernels() -> List[Kernel]:
+    """Every registered kernel, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def executable_kernels() -> List[Kernel]:
+    """The kernels that can be executed on NumPy data (not just simulated)."""
+    return [kernel for kernel in _REGISTRY.values() if kernel.is_executable]

@@ -1,0 +1,110 @@
+"""The Pluto-tiled variants of the evaluation (``correlation_tiled``, ``covariance_tiled``).
+
+The paper additionally tiles some programs with ``pluto --tile``; tiling a
+triangular domain produces a triangular *tile* domain with partially-full
+boundary tiles, so a static schedule of the tile loops is again unbalanced
+and collapsing them pays off (though less dramatically than for the point
+loops, because the per-tile work is much coarser).
+
+A :class:`TiledKernel` wraps the affine tile-loop nest produced by
+:func:`repro.transforms.tiling.tile_triangular` together with the exact
+per-tile work function; the Fig. 9 benchmark simulates the schedules on the
+tile loops with that work function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from ..core import CollapsedLoop, collapse
+from ..ir import LoopNest
+from ..transforms import TiledNest, tile_triangular
+from .base import get_kernel
+
+
+@dataclass(frozen=True)
+class TiledKernel:
+    """A tiled variant of a registered kernel, ready for scheduling simulation."""
+
+    name: str
+    base_kernel_name: str
+    tiled: TiledNest
+    description: str
+    default_parameters: Mapping[str, int]
+    bench_parameters: Mapping[str, int]
+    dynamic_chunk: int = 1
+
+    @property
+    def tile_nest(self) -> LoopNest:
+        return self.tiled.tile_nest
+
+    def collapsed(self, **kwargs) -> CollapsedLoop:
+        return collapse(self.tile_nest, 2, **kwargs)
+
+    def tile_parameters(self, parameter_values: Mapping[str, int]) -> Dict[str, int]:
+        return self.tiled.tile_parameters(parameter_values)
+
+    def work_function(self, parameter_values: Mapping[str, int]) -> Callable[[int, int], float]:
+        """Per-tile work callable for the simulator (tile indices -> work)."""
+
+        def work(tile_i: int, tile_j: int = None) -> float:  # type: ignore[assignment]
+            if tile_j is None:
+                raise ValueError("the tiled work function needs both tile indices")
+            return self.tiled.tile_work(tile_i, tile_j, parameter_values)
+
+        return work
+
+    def outer_work_function(self, parameter_values: Mapping[str, int]) -> Callable[[int], float]:
+        """Per-tile-row work callable (for the outer-loop-parallel baselines)."""
+        tiles = self.tile_parameters(parameter_values)["NT"]
+
+        def work(tile_i: int) -> float:
+            return sum(
+                self.tiled.tile_work(tile_i, tile_j, parameter_values) for tile_j in range(tile_i, tiles)
+            )
+
+        return work
+
+
+def _make_correlation_tiled() -> TiledKernel:
+    base = get_kernel("correlation")
+
+    def point_work(i: int, j: int, values: Mapping[str, int]) -> float:
+        # each (i, j) point of the correlation nest runs an N-iteration dot product
+        return float(values["N"])
+
+    tiled = tile_triangular(base.nest.prefix(2), tile_size=32, name="correlation_tiled", point_work=point_work)
+    return TiledKernel(
+        name="correlation_tiled",
+        base_kernel_name="correlation",
+        tiled=tiled,
+        description="correlation after Pluto-style 32x32 tiling of the triangular (i, j) pair",
+        default_parameters=base.default_parameters,
+        bench_parameters=base.bench_parameters,
+    )
+
+
+def _make_covariance_tiled() -> TiledKernel:
+    base = get_kernel("covariance")
+    tiled = tile_triangular(base.nest.prefix(2), tile_size=32, name="covariance_tiled")
+    return TiledKernel(
+        name="covariance_tiled",
+        base_kernel_name="covariance",
+        tiled=tiled,
+        description="covariance after Pluto-style 32x32 tiling of the triangular (i, j) pair",
+        default_parameters=base.default_parameters,
+        bench_parameters=base.bench_parameters,
+    )
+
+
+TILED_KERNELS: Dict[str, TiledKernel] = {}
+for _factory in (_make_correlation_tiled, _make_covariance_tiled):
+    _kernel = _factory()
+    TILED_KERNELS[_kernel.name] = _kernel
+
+
+def get_tiled_kernel(name: str) -> TiledKernel:
+    if name not in TILED_KERNELS:
+        raise KeyError(f"unknown tiled kernel {name!r}; available: {sorted(TILED_KERNELS)}")
+    return TILED_KERNELS[name]

@@ -1,0 +1,142 @@
+"""The two handwritten triangular-matrix programs of the evaluation.
+
+* ``utma`` — sum of two upper-triangular matrices (5000x5000 in the paper):
+  both loops are collapsed, the body is a single element-wise addition.
+* ``ltmp`` — product of two lower-triangular matrices (4000x4000 in the
+  paper): the innermost ``k`` loop carries the reduction on ``C[i][j]`` and
+  cannot be collapsed, so only the two outer loops are; because the trip
+  count of the remaining ``k`` loop still depends on ``(i, j)``, the
+  collapsed loop keeps a load imbalance and ``schedule(dynamic)`` beats the
+  collapsed static version — the one negative case of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..ir import ArrayAccess, Loop, LoopNest, Statement
+from .base import Kernel, register_kernel
+
+_SEED = 40004000
+
+
+def _rng() -> np.random.Generator:
+    return np.random.default_rng(_SEED)
+
+
+# ---------------------------------------------------------------------- #
+# utma: upper triangular matrix add
+# ---------------------------------------------------------------------- #
+def _utma_nest() -> LoopNest:
+    return LoopNest(
+        loops=[Loop.make("i", 0, "N"), Loop.make("j", "i", "N")],
+        statements=[
+            Statement(
+                "add",
+                (
+                    ArrayAccess.write("c", "i", "j"),
+                    ArrayAccess.read("a", "i", "j"),
+                    ArrayAccess.read("b", "i", "j"),
+                ),
+            )
+        ],
+        parameters=["N"],
+        name="utma",
+    )
+
+
+def _utma_data(values: Mapping[str, int]) -> Dict[str, np.ndarray]:
+    n = values["N"]
+    rng = _rng()
+    return {
+        "a": np.triu(rng.standard_normal((n, n))),
+        "b": np.triu(rng.standard_normal((n, n))),
+        "c": np.zeros((n, n)),
+    }
+
+
+def _utma_op(data, indices: Tuple[int, ...], values) -> None:
+    i, j = indices
+    data["c"][i, j] = data["a"][i, j] + data["b"][i, j]
+
+
+def _utma_reference(data, values):
+    return {"c": np.triu(data["a"] + data["b"])}
+
+
+register_kernel(
+    Kernel(
+        name="utma",
+        nest=_utma_nest(),
+        collapse_depth=2,
+        description="sum of two upper-triangular matrices (paper: 5000x5000); the whole nest is collapsed",
+        default_parameters={"N": 1000},
+        bench_parameters={"N": 250},
+        make_data=_utma_data,
+        iteration_op=_utma_op,
+        reference_numpy=_utma_reference,
+    )
+)
+
+
+# ---------------------------------------------------------------------- #
+# ltmp: lower triangular matrix product
+# ---------------------------------------------------------------------- #
+def _ltmp_nest() -> LoopNest:
+    return LoopNest(
+        loops=[Loop.make("i", 0, "N"), Loop.make("j", 0, "i + 1"), Loop.make("k", "j", "i + 1")],
+        statements=[
+            Statement(
+                "fma",
+                (
+                    ArrayAccess.write("c", "i", "j"),
+                    ArrayAccess.read("c", "i", "j"),
+                    ArrayAccess.read("a", "i", "k"),
+                    ArrayAccess.read("b", "k", "j"),
+                ),
+            )
+        ],
+        parameters=["N"],
+        name="ltmp",
+    )
+
+
+def _ltmp_data(values: Mapping[str, int]) -> Dict[str, np.ndarray]:
+    n = values["N"]
+    rng = _rng()
+    return {
+        "a": np.tril(rng.standard_normal((n, n))),
+        "b": np.tril(rng.standard_normal((n, n))),
+        "c": np.zeros((n, n)),
+    }
+
+
+def _ltmp_op(data, indices: Tuple[int, ...], values) -> None:
+    # one collapsed iteration covers the whole k reduction for (i, j),
+    # k running from j to i inclusive (the non-collapsible inner loop)
+    i, j = indices
+    data["c"][i, j] = float(data["a"][i, j : i + 1] @ data["b"][j : i + 1, j])
+
+
+def _ltmp_reference(data, values):
+    return {"c": np.tril(data["a"] @ data["b"])}
+
+
+register_kernel(
+    Kernel(
+        name="ltmp",
+        nest=_ltmp_nest(),
+        collapse_depth=2,
+        description=(
+            "product of two lower-triangular matrices (paper: 4000x4000); the inner k loop carries "
+            "the reduction so only (i, j) are collapsed and some load imbalance remains"
+        ),
+        default_parameters={"N": 400},
+        bench_parameters={"N": 120},
+        make_data=_ltmp_data,
+        iteration_op=_ltmp_op,
+        reference_numpy=_ltmp_reference,
+    )
+)

@@ -1,0 +1,124 @@
+"""OpenMP loop schedules as explicit chunk lists.
+
+A *chunk* is a contiguous range of iterations of the parallel loop (either
+the outermost original loop or the collapsed ``pc`` loop), identified by its
+1-based inclusive bounds.  The three schedule families of the paper's
+experiments are provided:
+
+* ``static`` — one contiguous block per thread (OpenMP's default static
+  schedule, the blue baseline of Fig. 9),
+* ``static, chunk`` — fixed-size chunks dealt round-robin,
+* ``dynamic, chunk`` — fixed-size chunks handed to threads on demand; the
+  assignment happens in the simulator, this module only cuts the chunks,
+* ``guided`` — geometrically decreasing chunks (provided for completeness
+  and used by the schedule-ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class ScheduleKind(enum.Enum):
+    """The OpenMP ``schedule`` clauses modelled by the simulator."""
+
+    STATIC = "static"
+    STATIC_CHUNKED = "static_chunked"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous block of parallel-loop iterations, 1-based and inclusive."""
+
+    first: int
+    last: int
+    thread: Optional[int] = None   # pre-assigned thread (static schedules only)
+
+    def __post_init__(self):
+        if self.last < self.first:
+            raise ValueError(f"empty chunk [{self.first}, {self.last}]")
+
+    @property
+    def size(self) -> int:
+        return self.last - self.first + 1
+
+
+def static_schedule(total: int, threads: int) -> List[Chunk]:
+    """OpenMP ``schedule(static)``: one near-equal contiguous block per thread.
+
+    Mirrors the usual OpenMP runtime behaviour: the first ``total % threads``
+    threads receive one extra iteration.  Threads whose block would be empty
+    receive no chunk.
+    """
+    if threads < 1:
+        raise ValueError("threads must be at least 1")
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    chunks: List[Chunk] = []
+    base, remainder = divmod(total, threads)
+    start = 1
+    for thread in range(threads):
+        size = base + (1 if thread < remainder else 0)
+        if size == 0:
+            continue
+        chunks.append(Chunk(first=start, last=start + size - 1, thread=thread))
+        start += size
+    return chunks
+
+
+def static_chunked_schedule(total: int, threads: int, chunk_size: int) -> List[Chunk]:
+    """OpenMP ``schedule(static, chunk)``: fixed chunks dealt round-robin."""
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    if threads < 1:
+        raise ValueError("threads must be at least 1")
+    chunks: List[Chunk] = []
+    index = 0
+    start = 1
+    while start <= total:
+        end = min(start + chunk_size - 1, total)
+        chunks.append(Chunk(first=start, last=end, thread=index % threads))
+        index += 1
+        start = end + 1
+    return chunks
+
+
+def dynamic_chunks(total: int, chunk_size: int) -> List[Chunk]:
+    """OpenMP ``schedule(dynamic, chunk)``: the chunks, in hand-out order.
+
+    Thread assignment is decided at run time by whichever thread is idle; the
+    simulator performs that greedy assignment, so the chunks carry no thread.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    chunks: List[Chunk] = []
+    start = 1
+    while start <= total:
+        end = min(start + chunk_size - 1, total)
+        chunks.append(Chunk(first=start, last=end))
+        start = end + 1
+    return chunks
+
+
+def guided_chunks(total: int, threads: int, min_chunk: int = 1) -> List[Chunk]:
+    """OpenMP ``schedule(guided)``: each chunk is ``remaining / threads`` large,
+    never smaller than ``min_chunk``."""
+    if threads < 1:
+        raise ValueError("threads must be at least 1")
+    if min_chunk < 1:
+        raise ValueError("min_chunk must be at least 1")
+    chunks: List[Chunk] = []
+    start = 1
+    remaining = total
+    while remaining > 0:
+        size = max(min_chunk, math.ceil(remaining / threads))
+        size = min(size, remaining)
+        chunks.append(Chunk(first=start, last=start + size - 1))
+        start += size
+        remaining -= size
+    return chunks

@@ -1,0 +1,87 @@
+"""Affine constraints (inequalities and equalities) over iterators and parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from .affine import AffineExpr, AffineLike
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A constraint ``expression >= 0`` (inequality) or ``expression == 0`` (equality)."""
+
+    expression: AffineExpr
+    is_equality: bool = False
+
+    # ------------------------------------------------------------------ #
+    # constructors mirroring the comparison operators of loop bounds
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def greater_equal(left: AffineLike, right: AffineLike) -> "Constraint":
+        """``left >= right``."""
+        return Constraint(AffineExpr.coerce(left) - AffineExpr.coerce(right))
+
+    @staticmethod
+    def less_equal(left: AffineLike, right: AffineLike) -> "Constraint":
+        """``left <= right``."""
+        return Constraint(AffineExpr.coerce(right) - AffineExpr.coerce(left))
+
+    @staticmethod
+    def less_than(left: AffineLike, right: AffineLike) -> "Constraint":
+        """``left < right`` over the integers, i.e. ``left <= right - 1``."""
+        return Constraint(AffineExpr.coerce(right) - AffineExpr.coerce(left) - 1)
+
+    @staticmethod
+    def greater_than(left: AffineLike, right: AffineLike) -> "Constraint":
+        """``left > right`` over the integers, i.e. ``left >= right + 1``."""
+        return Constraint(AffineExpr.coerce(left) - AffineExpr.coerce(right) - 1)
+
+    @staticmethod
+    def equals(left: AffineLike, right: AffineLike) -> "Constraint":
+        """``left == right``."""
+        return Constraint(AffineExpr.coerce(left) - AffineExpr.coerce(right), is_equality=True)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def variables(self) -> frozenset:
+        return self.expression.variables()
+
+    def coefficient(self, var: str) -> Fraction:
+        return self.expression.coefficient(var)
+
+    def involves(self, var: str) -> bool:
+        return self.expression.coefficient(var) != 0
+
+    def is_satisfied(self, assignment: Mapping[str, Union[int, Fraction]]) -> bool:
+        value = self.expression.evaluate(assignment)
+        return value == 0 if self.is_equality else value >= 0
+
+    def substitute(self, assignment: Mapping[str, AffineLike]) -> "Constraint":
+        return Constraint(self.expression.substitute(assignment), self.is_equality)
+
+    def negate(self) -> "Constraint":
+        """Integer negation of an inequality: ``not (e >= 0)`` is ``-e - 1 >= 0``.
+
+        Negating an equality would produce a disjunction, which a single
+        constraint cannot represent.
+        """
+        if self.is_equality:
+            raise ValueError("cannot negate an equality constraint into a single constraint")
+        return Constraint(-self.expression - 1)
+
+    def as_inequalities(self) -> tuple:
+        """Split an equality into its two inequality halves (identity for inequalities)."""
+        if not self.is_equality:
+            return (self,)
+        return (Constraint(self.expression), Constraint(-self.expression))
+
+    def __str__(self) -> str:
+        relation = "==" if self.is_equality else ">="
+        return f"{self.expression} {relation} 0"
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"

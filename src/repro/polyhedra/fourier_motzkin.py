@@ -1,0 +1,131 @@
+"""Fourier–Motzkin elimination over rational affine constraint systems.
+
+This is the generic engine behind emptiness tests, bounding-box computation
+and variable projection of :class:`~repro.polyhedra.polyhedron.Polyhedron`.
+Exact rational arithmetic keeps the procedure decision-complete for rational
+polyhedra (integer emptiness is checked separately by enumeration where
+needed; the loop domains handled by the collapser are convex and dense
+enough that rational reasoning is what the paper's tooling uses as well).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .affine import AffineExpr
+from .constraint import Constraint
+
+
+def _expand_equalities(constraints: Iterable[Constraint]) -> List[Constraint]:
+    expanded: List[Constraint] = []
+    for constraint in constraints:
+        expanded.extend(constraint.as_inequalities())
+    return expanded
+
+
+def eliminate_variable(constraints: Sequence[Constraint], var: str) -> List[Constraint]:
+    """Project the constraint system onto the variables other than ``var``.
+
+    Classic Fourier–Motzkin: pair every lower bound on ``var`` with every
+    upper bound and keep the ``var``-free combinations.  The result describes
+    the exact rational shadow of the system.
+    """
+    lower: List[AffineExpr] = []   # expressions e with  var >= e
+    upper: List[AffineExpr] = []   # expressions e with  var <= e
+    unrelated: List[Constraint] = []
+
+    for constraint in _expand_equalities(constraints):
+        coefficient = constraint.coefficient(var)
+        if coefficient == 0:
+            unrelated.append(constraint)
+            continue
+        # constraint: expr >= 0 with expr = coefficient*var + rest
+        rest = constraint.expression - AffineExpr.build({var: coefficient})
+        if coefficient > 0:
+            # var >= -rest / coefficient
+            lower.append(-rest * (Fraction(1) / coefficient))
+        else:
+            # var <= rest / (-coefficient)
+            upper.append(rest * (Fraction(1) / -coefficient))
+
+    projected = list(unrelated)
+    for low in lower:
+        for high in upper:
+            projected.append(Constraint(high - low))
+    return projected
+
+
+def variable_bounds(
+    constraints: Sequence[Constraint], var: str
+) -> Tuple[List[AffineExpr], List[AffineExpr]]:
+    """Collect the affine lower and upper bounds the system imposes on ``var``.
+
+    Returns ``(lower_bounds, upper_bounds)`` such that the system implies
+    ``var >= l`` for every ``l`` and ``var <= u`` for every ``u``.
+    """
+    lower: List[AffineExpr] = []
+    upper: List[AffineExpr] = []
+    for constraint in _expand_equalities(constraints):
+        coefficient = constraint.coefficient(var)
+        if coefficient == 0:
+            continue
+        rest = constraint.expression - AffineExpr.build({var: coefficient})
+        if coefficient > 0:
+            lower.append(-rest * (Fraction(1) / coefficient))
+        else:
+            upper.append(rest * (Fraction(1) / -coefficient))
+    return lower, upper
+
+
+def is_rationally_empty(constraints: Sequence[Constraint], variables: Sequence[str]) -> bool:
+    """True when the system has no *rational* solution in the given variables.
+
+    Eliminates every variable in turn; the system is empty exactly when a
+    variable-free constraint with a negative constant remains.
+    """
+    current = _expand_equalities(constraints)
+    remaining = list(variables)
+    while remaining:
+        var = remaining.pop()
+        current = eliminate_variable(current, var)
+    for constraint in current:
+        if constraint.expression.variables():
+            # still mentions parameters: cannot decide emptiness without values
+            continue
+        if constraint.expression.constant < 0:
+            return True
+    return False
+
+
+def constant_bounds(
+    constraints: Sequence[Constraint],
+    var: str,
+    assignment: Optional[dict] = None,
+) -> Tuple[Optional[int], Optional[int]]:
+    """Integer lower/upper bounds of ``var`` once the other variables are fixed.
+
+    Bounds that still mention unfixed variables are ignored, so the result is
+    valid but possibly loose; ``None`` means unbounded in that direction.
+    """
+    import math
+
+    assignment = assignment or {}
+    lower, upper = variable_bounds(constraints, var)
+    low: Optional[int] = None
+    high: Optional[int] = None
+    for bound in lower:
+        try:
+            value = bound.evaluate(assignment)
+        except KeyError:
+            continue
+        candidate = math.ceil(value)
+        low = candidate if low is None else max(low, candidate)
+    for bound in upper:
+        try:
+            value = bound.evaluate(assignment)
+        except KeyError:
+            continue
+        candidate = math.floor(value)
+        high = candidate if high is None else min(high, candidate)
+    return low, high

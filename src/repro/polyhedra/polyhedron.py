@@ -1,0 +1,160 @@
+"""Parametric polyhedra: conjunctions of affine constraints with named dimensions.
+
+A :class:`Polyhedron` distinguishes *set dimensions* (loop iterators) from
+*parameters* (symbolic sizes such as ``N``).  It offers the operations the
+rest of the pipeline needs: membership, emptiness, projection, intersection
+and brute-force integer-point enumeration for fixed parameter values (the
+test oracle for Ehrhart counting and ranking).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .affine import AffineExpr, AffineLike
+from .constraint import Constraint
+from .fourier_motzkin import (
+    constant_bounds,
+    eliminate_variable,
+    is_rationally_empty,
+    variable_bounds,
+)
+
+
+class Polyhedron:
+    """``{ (d1, ..., dn) : constraints(d, p) }`` parametrised by ``p``."""
+
+    def __init__(
+        self,
+        dimensions: Sequence[str],
+        constraints: Iterable[Constraint] = (),
+        parameters: Sequence[str] = (),
+    ):
+        self.dimensions: Tuple[str, ...] = tuple(dimensions)
+        self.parameters: Tuple[str, ...] = tuple(parameters)
+        if len(set(self.dimensions)) != len(self.dimensions):
+            raise ValueError("duplicate dimension names")
+        if set(self.dimensions) & set(self.parameters):
+            raise ValueError("a name cannot be both a dimension and a parameter")
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        allowed = set(self.dimensions) | set(self.parameters)
+        for constraint in self.constraints:
+            unknown = constraint.variables() - allowed
+            if unknown:
+                raise ValueError(f"constraint {constraint} uses undeclared names {sorted(unknown)}")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_bounds(
+        bounds: Sequence[Tuple[str, AffineLike, AffineLike]],
+        parameters: Sequence[str] = (),
+    ) -> "Polyhedron":
+        """Build the iteration domain of a loop nest.
+
+        ``bounds`` lists ``(iterator, lower, upper_exclusive)`` from the
+        outermost to the innermost loop, exactly as in the loop model of
+        Fig. 5: each loop runs ``for (i = lower; i < upper; i++)``.
+        """
+        dimensions = [name for name, _, _ in bounds]
+        constraints: List[Constraint] = []
+        for name, lower, upper in bounds:
+            constraints.append(Constraint.greater_equal(AffineExpr.variable(name), lower))
+            constraints.append(Constraint.less_than(AffineExpr.variable(name), upper))
+        return Polyhedron(dimensions, constraints, parameters)
+
+    def with_constraints(self, extra: Iterable[Constraint]) -> "Polyhedron":
+        return Polyhedron(self.dimensions, self.constraints + tuple(extra), self.parameters)
+
+    def intersect(self, other: "Polyhedron") -> "Polyhedron":
+        if self.dimensions != other.dimensions:
+            raise ValueError("cannot intersect polyhedra with different dimensions")
+        parameters = tuple(dict.fromkeys(self.parameters + other.parameters))
+        return Polyhedron(self.dimensions, self.constraints + other.constraints, parameters)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def contains(self, point: Sequence[int], parameter_values: Mapping[str, int] | None = None) -> bool:
+        """Integer membership test for a concrete point and parameter values."""
+        if len(point) != len(self.dimensions):
+            raise ValueError(f"expected {len(self.dimensions)} coordinates, got {len(point)}")
+        assignment: Dict[str, Fraction] = {name: Fraction(value) for name, value in zip(self.dimensions, point)}
+        for name, value in (parameter_values or {}).items():
+            assignment[name] = Fraction(value)
+        return all(constraint.is_satisfied(assignment) for constraint in self.constraints)
+
+    def is_empty(self, parameter_values: Mapping[str, int] | None = None) -> bool:
+        """Emptiness of the integer set.
+
+        With concrete parameter values the answer is exact (enumeration).
+        Without values, rational Fourier–Motzkin emptiness is used: ``True``
+        is definite, ``False`` means "not provably empty for all parameters".
+        """
+        if parameter_values is not None:
+            return next(iter(self.enumerate_points(parameter_values)), None) is None
+        substituted = [c for c in self.constraints]
+        return is_rationally_empty(substituted, list(self.dimensions))
+
+    def project_out(self, var: str) -> "Polyhedron":
+        """Existentially project away one set dimension (Fourier–Motzkin)."""
+        if var not in self.dimensions:
+            raise ValueError(f"{var!r} is not a dimension of this polyhedron")
+        constraints = eliminate_variable(list(self.constraints), var)
+        dimensions = tuple(d for d in self.dimensions if d != var)
+        return Polyhedron(dimensions, constraints, self.parameters)
+
+    def bounds_of(self, var: str) -> Tuple[List[AffineExpr], List[AffineExpr]]:
+        """All affine lower/upper bounds the constraints impose on ``var``."""
+        return variable_bounds(list(self.constraints), var)
+
+    # ------------------------------------------------------------------ #
+    # enumeration (the test oracle)
+    # ------------------------------------------------------------------ #
+    def enumerate_points(self, parameter_values: Mapping[str, int]) -> Iterator[Tuple[int, ...]]:
+        """Yield every integer point in lexicographic order of the dimensions.
+
+        Works by recursively bounding each dimension given the values chosen
+        for the outer ones; intended for validation and small sizes, not for
+        performance.
+        """
+        parameter_assignment = {name: int(value) for name, value in parameter_values.items()}
+        missing = set(self.parameters) - set(parameter_assignment)
+        if missing:
+            raise ValueError(f"missing parameter values for {sorted(missing)}")
+        yield from self._enumerate(dict(parameter_assignment), 0, [])
+
+    def _enumerate(self, assignment: Dict[str, int], depth: int, prefix: List[int]) -> Iterator[Tuple[int, ...]]:
+        if depth == len(self.dimensions):
+            if all(constraint.is_satisfied(assignment) for constraint in self.constraints):
+                yield tuple(prefix)
+            return
+        var = self.dimensions[depth]
+        low, high = constant_bounds(list(self.constraints), var, assignment)
+        if low is None or high is None:
+            raise ValueError(
+                f"dimension {var!r} is not bounded by constraints once "
+                f"{sorted(assignment)} are fixed; cannot enumerate"
+            )
+        for value in range(low, high + 1):
+            assignment[var] = value
+            yield from self._enumerate(assignment, depth + 1, prefix + [value])
+        assignment.pop(var, None)
+
+    def count(self, parameter_values: Mapping[str, int]) -> int:
+        """Exact number of integer points for concrete parameter values."""
+        return sum(1 for _ in self.enumerate_points(parameter_values))
+
+    # ------------------------------------------------------------------ #
+    # printing
+    # ------------------------------------------------------------------ #
+    def __str__(self) -> str:
+        params = f"[{', '.join(self.parameters)}] -> " if self.parameters else ""
+        constraints = " and ".join(str(c) for c in self.constraints) or "true"
+        return f"{params}{{ [{', '.join(self.dimensions)}] : {constraints} }}"
+
+    def __repr__(self) -> str:
+        return f"Polyhedron({self})"

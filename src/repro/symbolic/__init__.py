@@ -1,0 +1,61 @@
+"""Exact symbolic algebra used by the loop-collapsing pipeline.
+
+This subpackage is the stand-in for the computer-algebra tooling the paper
+relies on (Maxima for symbolic roots, ISL/barvinok for counting).  It
+provides:
+
+* :mod:`repro.symbolic.monomial` / :mod:`repro.symbolic.polynomial` —
+  multivariate polynomials with exact rational (``fractions.Fraction``)
+  coefficients, the representation of ranking Ehrhart polynomials.
+* :mod:`repro.symbolic.univariate` — a univariate view of a multivariate
+  polynomial (coefficients are themselves polynomials in the remaining
+  variables), plus numeric helpers.
+* :mod:`repro.symbolic.summation` — Bernoulli/Faulhaber closed-form
+  summation, the engine behind Ehrhart counting and ranking polynomials.
+* :mod:`repro.symbolic.expression` — radical expression trees (sqrt, cube
+  roots, arbitrary rational powers) with complex-aware evaluation and
+  printers to Python and C99 (``csqrt`` / ``cpow`` / ``creal``).
+* :mod:`repro.symbolic.solve` — exact symbolic root formulas for univariate
+  polynomial equations of degree 1 to 4 (linear, quadratic, Cardano,
+  Ferrari), the inversion engine of Section IV of the paper.
+"""
+
+from .monomial import Monomial
+from .polynomial import Polynomial, Q
+from .univariate import UnivariatePolynomial
+from .summation import bernoulli_number, faulhaber_polynomial, sum_over_range
+from .expression import (
+    Expr,
+    Const,
+    Var,
+    Add,
+    Mul,
+    Pow,
+    Floor,
+    RealPart,
+    expr_from_polynomial,
+    simplify,
+)
+from .solve import solve_univariate_symbolic, SolveError
+
+__all__ = [
+    "Monomial",
+    "Polynomial",
+    "Q",
+    "UnivariatePolynomial",
+    "bernoulli_number",
+    "faulhaber_polynomial",
+    "sum_over_range",
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "Pow",
+    "Floor",
+    "RealPart",
+    "expr_from_polynomial",
+    "simplify",
+    "solve_univariate_symbolic",
+    "SolveError",
+]

@@ -1,0 +1,350 @@
+"""Sparse multivariate polynomials with exact rational coefficients.
+
+:class:`Polynomial` is the workhorse of the whole reproduction: ranking
+Ehrhart polynomials, trip counts, affine loop bounds and intermediate
+summation results are all instances of it.  Coefficients are
+``fractions.Fraction`` so every computation (counting, ranking, inversion
+set-up) is exact — floating point only enters at the very end, when closed
+form radical roots are *evaluated*.
+
+The public surface intentionally mirrors what a tiny computer-algebra system
+would offer: arithmetic, substitution, evaluation, per-variable degree,
+univariate coefficient extraction and printers for Python and C sources.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from numbers import Rational
+from typing import Dict, Iterable, Mapping, Union
+
+from .monomial import Monomial
+
+#: Convenience alias used throughout the code base for exact rationals.
+Q = Fraction
+
+Scalar = Union[int, Fraction]
+PolynomialLike = Union["Polynomial", int, Fraction]
+
+
+def _as_fraction(value: Scalar) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, Rational):
+        return Fraction(value)
+    raise TypeError(f"expected an exact rational coefficient, got {type(value).__name__}")
+
+
+class Polynomial:
+    """A multivariate polynomial ``sum_k c_k * m_k`` with ``c_k`` rational.
+
+    Instances are immutable in practice (no public mutators); arithmetic
+    returns new objects.  Zero coefficients are never stored.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | None = None):
+        cleaned: Dict[Monomial, Fraction] = {}
+        if terms:
+            for monomial, coefficient in terms.items():
+                if not isinstance(monomial, Monomial):
+                    raise TypeError("Polynomial keys must be Monomial instances")
+                value = _as_fraction(coefficient)
+                if value != 0:
+                    cleaned[monomial] = value
+        self._terms = cleaned
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zero() -> "Polynomial":
+        """The zero polynomial."""
+        return Polynomial()
+
+    @staticmethod
+    def constant(value: Scalar) -> "Polynomial":
+        """A constant polynomial."""
+        return Polynomial({Monomial.one(): _as_fraction(value)})
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``name``."""
+        return Polynomial({Monomial.variable(name): Fraction(1)})
+
+    @staticmethod
+    def from_coefficients(var: str, coefficients: Iterable[Scalar]) -> "Polynomial":
+        """Univariate constructor: ``coefficients[k]`` multiplies ``var**k``."""
+        terms: Dict[Monomial, Fraction] = {}
+        for power, coefficient in enumerate(coefficients):
+            value = _as_fraction(coefficient)
+            if value != 0:
+                terms[Monomial.variable(var, power) if power else Monomial.one()] = value
+        return Polynomial(terms)
+
+    @staticmethod
+    def affine(coefficients: Mapping[str, Scalar], constant: Scalar = 0) -> "Polynomial":
+        """Build ``sum_v coefficients[v] * v + constant``."""
+        terms: Dict[Monomial, Fraction] = {}
+        for var, coefficient in coefficients.items():
+            value = _as_fraction(coefficient)
+            if value != 0:
+                terms[Monomial.variable(var)] = value
+        const = _as_fraction(constant)
+        if const != 0:
+            terms[Monomial.one()] = const
+        return Polynomial(terms)
+
+    @staticmethod
+    def _coerce(value: PolynomialLike) -> "Polynomial":
+        if isinstance(value, Polynomial):
+            return value
+        return Polynomial.constant(value)
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def terms(self) -> Dict[Monomial, Fraction]:
+        """A copy of the ``{monomial: coefficient}`` map."""
+        return dict(self._terms)
+
+    def coefficient(self, monomial: Monomial) -> Fraction:
+        """Coefficient of ``monomial`` (0 when absent)."""
+        return self._terms.get(monomial, Fraction(0))
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        return all(m.is_constant() for m in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """Value of a constant polynomial; raises otherwise."""
+        if not self.is_constant():
+            raise ValueError(f"{self} is not constant")
+        return self._terms.get(Monomial.one(), Fraction(0))
+
+    def variables(self) -> frozenset:
+        """Every variable that appears with a non-zero coefficient."""
+        result: set = set()
+        for monomial in self._terms:
+            result |= monomial.variables()
+        return frozenset(result)
+
+    @property
+    def total_degree(self) -> int:
+        """Maximum total degree of any monomial (0 for the zero polynomial)."""
+        if not self._terms:
+            return 0
+        return max(m.total_degree for m in self._terms)
+
+    def degree_in(self, var: str) -> int:
+        """Maximum exponent of ``var`` (0 when the variable does not appear)."""
+        if not self._terms:
+            return 0
+        return max((m.degree_in(var) for m in self._terms), default=0)
+
+    def is_affine(self) -> bool:
+        """True when every monomial has total degree at most one."""
+        return all(m.total_degree <= 1 for m in self._terms)
+
+    def is_integer_valued_on_integers(self, samples: int = 4) -> bool:
+        """Heuristic check that the polynomial maps integers to integers.
+
+        Ranking Ehrhart polynomials have rational coefficients but always
+        evaluate to integers on integer points; this is used as a sanity
+        check in tests and assertions.
+        """
+        variables = sorted(self.variables())
+        from itertools import product
+
+        for point in product(range(samples), repeat=len(variables)):
+            value = self.evaluate(dict(zip(variables, point)))
+            if not isinstance(value, Fraction):
+                return False
+            if value.denominator != 1:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: PolynomialLike) -> "Polynomial":
+        other = Polynomial._coerce(other)
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            terms[monomial] = terms.get(monomial, Fraction(0)) + coefficient
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: PolynomialLike) -> "Polynomial":
+        return self + (-Polynomial._coerce(other))
+
+    def __rsub__(self, other: PolynomialLike) -> "Polynomial":
+        return Polynomial._coerce(other) - self
+
+    def __mul__(self, other: PolynomialLike) -> "Polynomial":
+        other = Polynomial._coerce(other)
+        terms: Dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                monomial = m1 * m2
+                terms[monomial] = terms.get(monomial, Fraction(0)) + c1 * c2
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Scalar) -> "Polynomial":
+        value = _as_fraction(scalar)
+        if value == 0:
+            raise ZeroDivisionError("division of a polynomial by zero")
+        return Polynomial({m: c / value for m, c in self._terms.items()})
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("polynomial exponent must be a non-negative integer")
+        result = Polynomial.constant(1)
+        base = self
+        power = exponent
+        while power:
+            if power & 1:
+                result = result * base
+            base = base * base
+            power >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            other = Polynomial.constant(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    # ------------------------------------------------------------------ #
+    # substitution and evaluation
+    # ------------------------------------------------------------------ #
+    def substitute(self, assignment: Mapping[str, PolynomialLike]) -> "Polynomial":
+        """Simultaneously substitute variables by polynomials (or scalars).
+
+        Variables absent from ``assignment`` are left untouched.
+        """
+        substitutions = {name: Polynomial._coerce(value) for name, value in assignment.items()}
+        result = Polynomial.zero()
+        for monomial, coefficient in self._terms.items():
+            term = Polynomial.constant(coefficient)
+            for var, exp in monomial.powers:
+                if var in substitutions:
+                    term = term * (substitutions[var] ** exp)
+                else:
+                    term = term * Polynomial({Monomial.variable(var, exp): Fraction(1)})
+            result = result + term
+        return result
+
+    def evaluate(self, assignment: Mapping[str, object]):
+        """Evaluate numerically.
+
+        Returns a :class:`~fractions.Fraction` when every supplied value is
+        exact; floats/complex propagate naturally otherwise.  Raises
+        :class:`KeyError` when a needed variable is missing.
+        """
+        total: object = Fraction(0)
+        for monomial, coefficient in self._terms.items():
+            total = total + coefficient * monomial.evaluate(assignment)
+        return total
+
+    def evaluate_partial(self, assignment: Mapping[str, object]) -> "Polynomial":
+        """Substitute scalar values for some variables, keeping the rest symbolic."""
+        return self.substitute({k: Polynomial.constant(_as_fraction(v)) for k, v in assignment.items()})
+
+    def coefficients_in(self, var: str) -> Dict[int, "Polynomial"]:
+        """Group the polynomial as a univariate polynomial in ``var``.
+
+        Returns ``{exponent: coefficient-polynomial}`` where the coefficient
+        polynomials no longer contain ``var``.
+        """
+        grouped: Dict[int, Dict[Monomial, Fraction]] = {}
+        for monomial, coefficient in self._terms.items():
+            exponent = monomial.degree_in(var)
+            reduced = monomial.without(var)
+            bucket = grouped.setdefault(exponent, {})
+            bucket[reduced] = bucket.get(reduced, Fraction(0)) + coefficient
+        return {exp: Polynomial(terms) for exp, terms in grouped.items() if Polynomial(terms) != Polynomial.zero()}
+
+    def derivative(self, var: str) -> "Polynomial":
+        """Formal partial derivative with respect to ``var``."""
+        terms: Dict[Monomial, Fraction] = {}
+        for monomial, coefficient in self._terms.items():
+            exponent = monomial.degree_in(var)
+            if exponent == 0:
+                continue
+            reduced = monomial.as_dict()
+            reduced[var] = exponent - 1
+            new_monomial = Monomial.from_mapping(reduced)
+            terms[new_monomial] = terms.get(new_monomial, Fraction(0)) + coefficient * exponent
+        return Polynomial(terms)
+
+    # ------------------------------------------------------------------ #
+    # printing
+    # ------------------------------------------------------------------ #
+    def _sorted_terms(self):
+        return sorted(self._terms.items(), key=lambda kv: kv[0].sort_key(), reverse=True)
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self._sorted_terms():
+            if monomial.is_constant():
+                chunk = str(coefficient)
+            elif coefficient == 1:
+                chunk = str(monomial)
+            elif coefficient == -1:
+                chunk = f"-{monomial}"
+            else:
+                chunk = f"{coefficient}*{monomial}"
+            parts.append(chunk)
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+    def _term_source(self, monomial: Monomial, coefficient: Fraction, *, cast: str) -> str:
+        factors = []
+        if coefficient.denominator == 1:
+            if coefficient != 1 or monomial.is_constant():
+                factors.append(str(coefficient.numerator))
+        else:
+            factors.append(f"({coefficient.numerator}{cast} / {coefficient.denominator})")
+        for var, exp in monomial.powers:
+            factors.extend([var] * exp)
+        return " * ".join(factors) if factors else "1"
+
+    def to_python_source(self) -> str:
+        """Render as a Python expression string using ``Fraction``-free arithmetic.
+
+        Rational coefficients are emitted as exact divisions so evaluating the
+        string with integer variable values yields floats only where division
+        is genuinely fractional.
+        """
+        if not self._terms:
+            return "0"
+        parts = [self._term_source(m, c, cast="") for m, c in self._sorted_terms()]
+        return " + ".join(f"({p})" for p in parts)
+
+    def to_c_source(self) -> str:
+        """Render as a C expression string (double arithmetic for fractions)."""
+        if not self._terms:
+            return "0"
+        parts = [self._term_source(m, c, cast=".0") for m, c in self._sorted_terms()]
+        return " + ".join(f"({p})" for p in parts)

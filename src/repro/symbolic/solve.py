@@ -1,0 +1,276 @@
+"""Exact symbolic root formulas for univariate polynomial equations.
+
+Section IV-B of the paper restricts automatic collapsing to ranking
+polynomials whose per-index degree is at most 4, precisely because only
+degrees up to 4 admit closed-form radical solutions.  The paper delegates
+this step to the Maxima computer-algebra system; this module implements the
+same closed forms directly:
+
+* degree 1 — trivial division,
+* degree 2 — quadratic formula,
+* degree 3 — Cardano's formula (the form used in Figure 7 of the paper,
+  with complex cube roots so transiently-complex radicands are handled),
+* degree 4 — Ferrari's method via the resolvent cubic.
+
+Coefficients may be arbitrary :class:`~repro.symbolic.polynomial.Polynomial`
+objects (they typically involve outer loop indices, size parameters and the
+collapsed iterator ``pc``); the returned roots are
+:class:`~repro.symbolic.expression.Expr` trees that evaluate through complex
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+from .expression import Add, Const, Expr, Mul, Pow, Var, expr_from_polynomial, simplify
+from .polynomial import Polynomial
+from .univariate import UnivariatePolynomial
+
+CoefficientLike = Union[Polynomial, Expr, int, Fraction]
+
+
+class SolveError(ValueError):
+    """Raised when an equation cannot be solved symbolically (degree 0 or > 4)."""
+
+
+def _as_expr(value: CoefficientLike) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, Polynomial):
+        return expr_from_polynomial(value)
+    if isinstance(value, (int, Fraction)):
+        return Const(Fraction(value))
+    raise TypeError(f"unsupported coefficient type {type(value).__name__}")
+
+
+def _sqrt(expr: Expr) -> Expr:
+    return Pow(expr, Fraction(1, 2))
+
+
+def _cbrt(expr: Expr) -> Expr:
+    return Pow(expr, Fraction(1, 3))
+
+
+def solve_linear(coefficients: Sequence[CoefficientLike]) -> List[Expr]:
+    """Root of ``c0 + c1*x = 0``."""
+    c0, c1 = (_as_expr(c) for c in coefficients[:2])
+    return [simplify(Mul((Const(Fraction(-1)), c0, Pow(c1, Fraction(-1)))))]
+
+
+def solve_quadratic(coefficients: Sequence[CoefficientLike]) -> List[Expr]:
+    """Both roots of ``c0 + c1*x + c2*x**2 = 0`` via the quadratic formula."""
+    c0, c1, c2 = (_as_expr(c) for c in coefficients[:3])
+    discriminant = Add((Mul((c1, c1)), Mul((Const(Fraction(-4)), c2, c0))))
+    sqrt_disc = _sqrt(discriminant)
+    denom = Pow(Mul((Const(Fraction(2)), c2)), Fraction(-1))
+    root_plus = Mul((Add((Mul((Const(Fraction(-1)), c1)), sqrt_disc)), denom))
+    root_minus = Mul((Add((Mul((Const(Fraction(-1)), c1)), Mul((Const(Fraction(-1)), sqrt_disc)))), denom))
+    return [simplify(root_plus), simplify(root_minus)]
+
+
+#: The primitive cube root of unity, written with an explicitly complex radical
+#: so that the generated code never calls a real ``sqrt`` on a negative value.
+_OMEGA = Mul((Const(Fraction(1, 2)), Add((Const(Fraction(-1)), _sqrt(Const(Fraction(-3)))))))
+_OMEGA2 = Mul(
+    (Const(Fraction(1, 2)), Add((Const(Fraction(-1)), Mul((Const(Fraction(-1)), _sqrt(Const(Fraction(-3))))))))
+)
+
+
+def _as_polynomial_or_none(value: CoefficientLike) -> Polynomial | None:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, Fraction)):
+        return Polynomial.constant(value)
+    return None
+
+
+def solve_cubic(coefficients: Sequence[CoefficientLike]) -> List[Expr]:
+    """All three roots of ``c0 + c1*x + c2*x**2 + c3*x**3 = 0`` (Cardano).
+
+    Uses the standard discriminant-based closed form::
+
+        D0 = c2^2 - 3 c3 c1
+        D1 = 2 c2^3 - 9 c3 c2 c1 + 27 c3^2 c0
+        C  = cbrt((D1 + sqrt(D1^2 - 4 D0^3)) / 2)
+        x_k = -(c2 + w^k C + D0 / (w^k C)) / (3 c3),  k = 0, 1, 2
+
+    with ``w`` the primitive cube root of unity.  All radicals are complex,
+    so the degenerate-looking cases (negative discriminant) evaluate to the
+    right real values, as discussed in Section IV-C of the paper.
+
+    When the coefficients are exact polynomials, the degenerate cases
+    ``D0 = 0`` (where the generic formula would divide by a vanishing cube
+    root) and ``D0 = D1 = 0`` (triple root) are detected symbolically and
+    replaced by the appropriate specialised closed forms.
+    """
+    c0, c1, c2, c3 = (_as_expr(c) for c in coefficients[:4])
+    polys = [_as_polynomial_or_none(c) for c in coefficients[:4]]
+
+    d0: Expr
+    d1: Expr
+    d0_is_zero = d1_is_zero = False
+    if all(p is not None for p in polys):
+        p0, p1, p2, p3 = polys  # type: ignore[misc]
+        d0_poly = p2 * p2 - 3 * p3 * p1
+        d1_poly = 2 * p2 ** 3 - 9 * p3 * p2 * p1 + 27 * p3 * p3 * p0
+        d0_is_zero, d1_is_zero = d0_poly.is_zero(), d1_poly.is_zero()
+        d0 = expr_from_polynomial(d0_poly)
+        d1 = expr_from_polynomial(d1_poly)
+    else:
+        d0 = Add((Mul((c2, c2)), Mul((Const(Fraction(-3)), c3, c1))))
+        d1 = Add(
+            (
+                Mul((Const(Fraction(2)), c2, c2, c2)),
+                Mul((Const(Fraction(-9)), c3, c2, c1)),
+                Mul((Const(Fraction(27)), c3, c3, c0)),
+            )
+        )
+
+    inverse_3a = Mul((Const(Fraction(-1, 3)), Pow(c3, Fraction(-1))))
+
+    if d0_is_zero and d1_is_zero:
+        # triple root  x = -c2 / (3 c3)
+        root = simplify(Mul((inverse_3a, c2)))
+        return [root, root, root]
+
+    if d0_is_zero:
+        # With D0 = 0 the resolvent gives C^3 = D1 and the D0/C term vanishes.
+        big_c = _cbrt(d1)
+        roots = []
+        for unit in (Const(Fraction(1)), _OMEGA, _OMEGA2):
+            roots.append(simplify(Mul((inverse_3a, Add((c2, Mul((unit, big_c))))))))
+        return roots
+
+    inner = Add((Mul((d1, d1)), Mul((Const(Fraction(-4)), d0, d0, d0))))
+    big_c = _cbrt(Mul((Const(Fraction(1, 2)), Add((d1, _sqrt(inner))))))
+
+    roots: List[Expr] = []
+    for unit in (Const(Fraction(1)), _OMEGA, _OMEGA2):
+        rotated = Mul((unit, big_c))
+        term = Add((c2, rotated, Mul((d0, Pow(rotated, Fraction(-1))))))
+        root = Mul((Const(Fraction(-1, 3)), term, Pow(c3, Fraction(-1))))
+        roots.append(simplify(root))
+    return roots
+
+
+def solve_quartic(coefficients: Sequence[CoefficientLike]) -> List[Expr]:
+    """Candidate roots of ``c0 + ... + c4*x**4 = 0`` (Ferrari's method).
+
+    Closed form through the resolvent cubic::
+
+        p  = (8 c4 c2 - 3 c3^2) / (8 c4^2)
+        q  = (c3^3 - 4 c4 c3 c2 + 8 c4^2 c1) / (8 c4^3)
+        D0 = c2^2 - 3 c3 c1 + 12 c4 c0
+        D1 = 2 c2^3 - 9 c3 c2 c1 + 27 c3^2 c0 + 27 c4 c1^2 - 72 c4 c2 c0
+        Qc = w^m * cbrt((D1 + sqrt(D1^2 - 4 D0^3)) / 2)      (m = 0, 1, 2)
+        S  = sqrt(-2p/3 + (Qc + D0/Qc) / (3 c4)) / 2
+        x  = -c3/(4 c4) + s1*S + s2 * sqrt(-4S^2 - 2p - s1*q/S) / 2
+
+    for the four sign combinations ``(s1, s2)``.
+
+    Ferrari's parametrisation degenerates when the chosen cube root makes
+    ``S`` vanish, so the function returns the candidates for *all three* cube
+    roots of the resolvent quantity (up to 12 expressions; any choice with
+    ``S != 0`` yields the four true roots).  The unranking step selects the
+    convenient candidate by validation, exactly as it already has to select
+    among the four sign branches, so the redundancy is harmless.
+    """
+    c0, c1, c2, c3, c4 = (_as_expr(c) for c in coefficients[:5])
+    half = Const(Fraction(1, 2))
+    p = Mul(
+        (
+            Add((Mul((Const(Fraction(8)), c4, c2)), Mul((Const(Fraction(-3)), c3, c3)))),
+            Pow(Mul((Const(Fraction(8)), c4, c4)), Fraction(-1)),
+        )
+    )
+    q = Mul(
+        (
+            Add(
+                (
+                    Mul((c3, c3, c3)),
+                    Mul((Const(Fraction(-4)), c4, c3, c2)),
+                    Mul((Const(Fraction(8)), c4, c4, c1)),
+                )
+            ),
+            Pow(Mul((Const(Fraction(8)), c4, c4, c4)), Fraction(-1)),
+        )
+    )
+    d0 = Add((Mul((c2, c2)), Mul((Const(Fraction(-3)), c3, c1)), Mul((Const(Fraction(12)), c4, c0))))
+    d1 = Add(
+        (
+            Mul((Const(Fraction(2)), c2, c2, c2)),
+            Mul((Const(Fraction(-9)), c3, c2, c1)),
+            Mul((Const(Fraction(27)), c3, c3, c0)),
+            Mul((Const(Fraction(27)), c4, c1, c1)),
+            Mul((Const(Fraction(-72)), c4, c2, c0)),
+        )
+    )
+    qc_principal = _cbrt(
+        Mul((half, Add((d1, _sqrt(Add((Mul((d1, d1)), Mul((Const(Fraction(-4)), d0, d0, d0)))))))))
+    )
+    base = Mul((Const(Fraction(-1, 4)), c3, Pow(c4, Fraction(-1))))
+
+    roots: List[Expr] = []
+    for unit in (Const(Fraction(1)), _OMEGA, _OMEGA2):
+        qc = Mul((unit, qc_principal))
+        s = Mul(
+            (
+                half,
+                _sqrt(
+                    Add(
+                        (
+                            Mul((Const(Fraction(-2, 3)), p)),
+                            Mul(
+                                (
+                                    Const(Fraction(1, 3)),
+                                    Pow(c4, Fraction(-1)),
+                                    Add((qc, Mul((d0, Pow(qc, Fraction(-1)))))),
+                                )
+                            ),
+                        )
+                    )
+                ),
+            )
+        )
+        for s1 in (Fraction(1), Fraction(-1)):
+            radicand = Add(
+                (
+                    Mul((Const(Fraction(-4)), s, s)),
+                    Mul((Const(Fraction(-2)), p)),
+                    Mul((Const(-s1), q, Pow(s, Fraction(-1)))),
+                )
+            )
+            tail = Mul((half, _sqrt(radicand)))
+            for s2 in (Fraction(1), Fraction(-1)):
+                root = Add((base, Mul((Const(s1), s)), Mul((Const(s2), tail))))
+                roots.append(simplify(root))
+    return roots
+
+
+def solve_univariate_symbolic(poly: UnivariatePolynomial) -> List[Expr]:
+    """Symbolic roots of ``poly(main_var) = 0`` for degrees 1 through 4.
+
+    The coefficients of ``poly`` (polynomials in the remaining variables)
+    become symbolic sub-expressions of the returned roots.  Raises
+    :class:`SolveError` for degree 0 or degree greater than 4 — the same
+    limitation as the paper's method (Section IV-B); callers fall back to the
+    exact bisection unranker in that case.
+    """
+    degree = poly.degree
+    coefficients = poly.coefficients_list()
+    if degree == 0:
+        raise SolveError("cannot solve a constant equation for the loop index")
+    if degree == 1:
+        return solve_linear(coefficients)
+    if degree == 2:
+        return solve_quadratic(coefficients)
+    if degree == 3:
+        return solve_cubic(coefficients)
+    if degree == 4:
+        return solve_quartic(coefficients)
+    raise SolveError(
+        f"degree {degree} has no general radical solution; "
+        "the paper's method is limited to per-index degree <= 4 (Section IV-B)"
+    )

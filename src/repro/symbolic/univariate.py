@@ -1,0 +1,172 @@
+"""Univariate view of multivariate polynomials.
+
+The symbolic inversion of Section IV of the paper repeatedly treats the
+ranking polynomial as a *univariate* polynomial in one index, whose
+coefficients are polynomials in the outer indices, the parameters and the
+collapsed iterator ``pc``.  :class:`UnivariatePolynomial` captures exactly
+that view and adds the numeric utilities the unranker needs (evaluation,
+derivative, real-root bracketing via bisection).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Mapping, Sequence
+
+from .polynomial import Polynomial, Q
+
+
+class UnivariatePolynomial:
+    """``sum_k coefficient[k] * main_var**k`` with polynomial coefficients."""
+
+    __slots__ = ("main_var", "_coefficients")
+
+    def __init__(self, main_var: str, coefficients: Mapping[int, Polynomial] | Sequence[Polynomial]):
+        self.main_var = main_var
+        coeffs: Dict[int, Polynomial] = {}
+        if isinstance(coefficients, Mapping):
+            items = coefficients.items()
+        else:
+            items = enumerate(coefficients)
+        for power, poly in items:
+            if not isinstance(power, int) or power < 0:
+                raise ValueError(f"invalid power {power!r}")
+            poly = poly if isinstance(poly, Polynomial) else Polynomial.constant(poly)
+            if poly.degree_in(main_var) > 0:
+                raise ValueError(f"coefficient of {main_var}^{power} still contains {main_var}")
+            if not poly.is_zero():
+                coeffs[power] = poly
+        self._coefficients = coeffs
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_polynomial(poly: Polynomial, main_var: str) -> "UnivariatePolynomial":
+        """Regroup a multivariate polynomial by the powers of ``main_var``."""
+        return UnivariatePolynomial(main_var, poly.coefficients_in(main_var))
+
+    def to_polynomial(self) -> Polynomial:
+        """Expand back into a flat multivariate polynomial."""
+        result = Polynomial.zero()
+        x = Polynomial.variable(self.main_var)
+        for power, coefficient in self._coefficients.items():
+            result = result + coefficient * (x ** power)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def degree(self) -> int:
+        """Degree in the main variable (0 for the zero polynomial)."""
+        return max(self._coefficients, default=0)
+
+    def coefficient(self, power: int) -> Polynomial:
+        """Coefficient polynomial of ``main_var**power`` (zero when absent)."""
+        return self._coefficients.get(power, Polynomial.zero())
+
+    def coefficients_list(self) -> List[Polynomial]:
+        """Dense list ``[c0, c1, ..., c_degree]``."""
+        return [self.coefficient(k) for k in range(self.degree + 1)]
+
+    def leading_coefficient(self) -> Polynomial:
+        return self.coefficient(self.degree)
+
+    def other_variables(self) -> frozenset:
+        names: set = set()
+        for poly in self._coefficients.values():
+            names |= poly.variables()
+        return frozenset(names)
+
+    def is_zero(self) -> bool:
+        return not self._coefficients
+
+    # ------------------------------------------------------------------ #
+    # arithmetic and calculus
+    # ------------------------------------------------------------------ #
+    def derivative(self) -> "UnivariatePolynomial":
+        """Derivative with respect to the main variable."""
+        coeffs: Dict[int, Polynomial] = {}
+        for power, coefficient in self._coefficients.items():
+            if power > 0:
+                coeffs[power - 1] = coefficient * power
+        return UnivariatePolynomial(self.main_var, coeffs)
+
+    def substitute_coefficients(self, assignment: Mapping[str, object]) -> "UnivariatePolynomial":
+        """Instantiate the *coefficient* variables, keeping the main variable symbolic."""
+        coeffs = {
+            power: Polynomial.constant(_to_fraction(coefficient.evaluate(assignment)))
+            for power, coefficient in self._coefficients.items()
+        }
+        return UnivariatePolynomial(self.main_var, coeffs)
+
+    def evaluate(self, value, assignment: Mapping[str, object] | None = None):
+        """Evaluate at ``main_var = value`` with the remaining variables from ``assignment``."""
+        assignment = dict(assignment or {})
+        total = 0
+        for power, coefficient in sorted(self._coefficients.items()):
+            total = total + coefficient.evaluate(assignment) * (value ** power)
+        return total
+
+    # ------------------------------------------------------------------ #
+    # numeric root helpers (used by the fallback unranker and tests)
+    # ------------------------------------------------------------------ #
+    def numeric_coefficients(self, assignment: Mapping[str, object]) -> List[Fraction]:
+        """Exact numeric coefficients after instantiating the other variables."""
+        values = []
+        for power in range(self.degree + 1):
+            value = self.coefficient(power).evaluate(assignment)
+            values.append(value if isinstance(value, Fraction) else Fraction(value))
+        return values
+
+    def bisect_root(
+        self,
+        low: int,
+        high: int,
+        assignment: Mapping[str, object],
+    ) -> int:
+        """Largest integer ``x`` in ``[low, high]`` with ``p(x) <= 0``.
+
+        Requires ``p`` to be monotonically increasing over ``[low, high]``
+        (which ranking polynomials minus ``pc`` are, along each index).  This
+        is the exact-arithmetic fallback unranker used for degrees above 4
+        and as a correctness oracle in tests.
+        """
+        if low > high:
+            raise ValueError(f"empty bracket [{low}, {high}]")
+        if self.evaluate(low, assignment) > 0:
+            raise ValueError("no root in bracket: p(low) > 0")
+        lo, hi = low, high
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.evaluate(mid, assignment) <= 0:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def __str__(self) -> str:
+        if not self._coefficients:
+            return "0"
+        parts = []
+        for power in sorted(self._coefficients, reverse=True):
+            coefficient = self._coefficients[power]
+            if power == 0:
+                parts.append(f"({coefficient})")
+            elif power == 1:
+                parts.append(f"({coefficient})*{self.main_var}")
+            else:
+                parts.append(f"({coefficient})*{self.main_var}^{power}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"UnivariatePolynomial[{self.main_var}]({self})"
+
+
+def _to_fraction(value) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected exact value, got {type(value).__name__}")

@@ -1,0 +1,20 @@
+"""Pluto-lite loop transformations.
+
+The paper feeds its collapser with loop nests that the Pluto polyhedral
+compiler has already transformed (skewed and/or tiled): such transformations
+routinely turn rectangular loops into non-rectangular ones, which is exactly
+where collapsing pays off.  This package provides the two transformations
+needed to regenerate the paper's ``*_tiled`` program variants and the
+skewed-stencil shapes:
+
+* :func:`repro.transforms.skewing.skew` — replace an iterator ``j`` by
+  ``j + factor * i`` (wavefront skewing), producing rhomboidal domains,
+* :func:`repro.transforms.tiling.tile_triangular` — tile the two outer
+  triangular loops, producing the tile-loop nest the collapser runs on plus
+  the exact per-tile work function (full and partial tiles).
+"""
+
+from .skewing import skew
+from .tiling import TiledNest, tile_triangular
+
+__all__ = ["skew", "TiledNest", "tile_triangular"]

@@ -1,0 +1,63 @@
+"""Loop skewing: ``j -> j + factor * i``.
+
+Skewing is the transformation Pluto applies to legalise wavefront
+parallelism in stencils; its visible effect on the loop nest is that the
+skewed iterator's bounds start sliding with the outer iterator, turning a
+rectangular domain into a rhomboid (one of the shapes listed in the paper's
+introduction).  The skewed nest iterates exactly the same set of statement
+instances: the new iterator ``j' = j + factor * i`` replaces ``j``, and every
+use of ``j`` in deeper bounds or subscripts becomes ``j' - factor * i``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..ir import ArrayAccess, Loop, LoopNest, Statement
+from ..polyhedra import AffineExpr
+
+
+def skew(nest: LoopNest, target: str, source: str, factor: int, name: str | None = None) -> LoopNest:
+    """Return the nest with iterator ``target`` skewed by ``factor * source``.
+
+    ``source`` must be an iterator *outer* to ``target`` (the usual legality
+    condition for skewing within a perfect nest).
+    """
+    iterators = list(nest.iterators)
+    if target not in iterators or source not in iterators:
+        raise ValueError(f"unknown iterator in skew: {target!r} or {source!r}")
+    if iterators.index(source) >= iterators.index(target):
+        raise ValueError(f"skew source {source!r} must be outer to target {target!r}")
+    if factor == 0:
+        return nest
+
+    shift = AffineExpr.build({source: factor})
+    # in the transformed nest, references to the old iterator value are
+    # expressed as  target - factor * source
+    old_value = AffineExpr.variable(target) - shift
+
+    new_loops: List[Loop] = []
+    for loop in nest.loops:
+        lower, upper = loop.lower, loop.upper
+        if loop.iterator == target:
+            # new bounds: old bounds shifted by factor * source
+            lower = lower + shift
+            upper = upper + shift
+        else:
+            lower = lower.substitute({target: old_value})
+            upper = upper.substitute({target: old_value})
+        new_loops.append(Loop(loop.iterator, lower, upper, loop.parallel))
+
+    new_statements: List[Statement] = []
+    for statement in nest.statements:
+        accesses = tuple(
+            ArrayAccess(
+                access.array,
+                tuple(subscript.substitute({target: old_value}) for subscript in access.subscripts),
+                access.is_write,
+            )
+            for access in statement.accesses
+        )
+        new_statements.append(Statement(statement.name, accesses, statement.compute))
+
+    return LoopNest(new_loops, new_statements, nest.parameters, name or f"{nest.name}_skewed")

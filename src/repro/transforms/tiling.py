@@ -1,0 +1,135 @@
+"""Rectangular tiling of triangular loop pairs ("Pluto --tile"-lite).
+
+Tiling a triangular domain produces the ``*_tiled`` variants of the paper's
+evaluation: the tile loops themselves form a (smaller) triangular domain,
+and the boundary tiles are only partially full, which is precisely the load
+imbalance the paper points at ("tiling often yields incomplete tiles that
+affect load balancing").
+
+The point loops of a tiled triangular domain need ``min``/``max`` bounds and
+therefore fall outside the single-affine-bound loop model; what the
+collapser consumes are the *tile loops*, which stay affine when expressed in
+the tile-count parameter ``NT = ceil(N / tile_size)``.  :func:`tile_triangular`
+returns that affine tile-loop nest together with the exact per-tile work
+function (number of original points inside each full or partial tile), which
+is what the scheduling simulation needs to reproduce the ``*_tiled`` bars of
+Fig. 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from ..ir import Loop, LoopNest
+
+#: Name of the tile-count parameter of the generated tile-loop nest.
+TILE_COUNT_PARAMETER = "NT"
+
+
+@dataclass(frozen=True)
+class TiledNest:
+    """The tile-loop view of a tiled triangular nest."""
+
+    tile_nest: LoopNest
+    tile_size: int
+    original: LoopNest
+    inner_work: Callable[[int, int, Mapping[str, int]], float]
+
+    def tile_parameters(self, parameter_values: Mapping[str, int]) -> Dict[str, int]:
+        """Translate original parameter values into the tile nest's ``NT``."""
+        environment = {k: int(v) for k, v in parameter_values.items()}
+        upper = self.original.loops[0].upper.evaluate(environment)
+        inner_upper = self.original.loops[1].upper.evaluate(environment)
+        extent = max(math.ceil(upper), math.ceil(inner_upper))
+        return {TILE_COUNT_PARAMETER: max(0, math.ceil(extent / self.tile_size))}
+
+    def tile_work(self, tile_i: int, tile_j: int, parameter_values: Mapping[str, int]) -> float:
+        """Work contained in tile ``(tile_i, tile_j)`` (0 for empty corner tiles)."""
+        return self.inner_work(tile_i, tile_j, parameter_values)
+
+    def total_work(self, parameter_values: Mapping[str, int]) -> float:
+        """Work summed over every tile — must equal the untiled nest's work."""
+        tiles = self.tile_parameters(parameter_values)[TILE_COUNT_PARAMETER]
+        return sum(
+            self.tile_work(tile_i, tile_j, parameter_values)
+            for tile_i in range(tiles)
+            for tile_j in range(tile_i, tiles)
+        )
+
+
+def tile_triangular(
+    nest: LoopNest,
+    tile_size: int,
+    name: Optional[str] = None,
+    point_work: Optional[Callable[[int, int, Mapping[str, int]], float]] = None,
+) -> TiledNest:
+    """Tile the two outermost loops of an upper-triangular nest.
+
+    Requirements (checked):
+
+    * the nest has at least two loops,
+    * the outer loop's bounds involve only parameters,
+    * the inner loop's lower bound is ``outer_iterator + c`` with ``c >= 0``
+      (the upper-triangular pattern of correlation/covariance/utma) and its
+      upper bound involves only parameters.
+
+    The resulting tile nest is ``for (it = 0; it < NT; it++) for (jt = it;
+    jt < NT; jt++)`` over the tile-count parameter ``NT``; boundary tiles that
+    contain no original point simply have zero work.
+
+    ``point_work`` gives the work of one original ``(i, j)`` iteration
+    (default 1.0; pass the inner trip count for kernels with a compute loop
+    below the tiled pair).
+    """
+    if tile_size < 1:
+        raise ValueError("tile_size must be at least 1")
+    if nest.depth < 2:
+        raise ValueError("tiling needs at least two loops")
+    outer, inner = nest.loops[0], nest.loops[1]
+    iterators = set(nest.iterators)
+    if (outer.lower.variables() | outer.upper.variables()) & iterators:
+        raise ValueError("the outer loop's bounds must only involve parameters")
+    if inner.upper.variables() & iterators:
+        raise ValueError("the inner loop's upper bound must only involve parameters")
+    if inner.lower.coefficient(outer.iterator) != 1 or (
+        inner.lower.variables() - {outer.iterator}
+    ) & iterators:
+        raise ValueError(
+            "tile_triangular handles the upper-triangular pattern "
+            f"'{inner.iterator} >= {outer.iterator} + c' only"
+        )
+    if inner.lower.constant < 0:
+        raise ValueError("the inner lower bound offset must be non-negative")
+
+    tile_iterator_i = f"{outer.iterator}t"
+    tile_iterator_j = f"{inner.iterator}t"
+    tile_nest = LoopNest(
+        [
+            Loop.make(tile_iterator_i, 0, TILE_COUNT_PARAMETER),
+            Loop.make(tile_iterator_j, tile_iterator_i, TILE_COUNT_PARAMETER),
+        ],
+        statements=(),
+        parameters=[TILE_COUNT_PARAMETER],
+        name=name or f"{nest.name}_tiled",
+    )
+
+    point_work = point_work or (lambda i, j, values: 1.0)
+
+    def inner_work(tile_i: int, tile_j: int, parameter_values: Mapping[str, int]) -> float:
+        environment = {k: int(v) for k, v in parameter_values.items()}
+        lower_i = math.ceil(outer.lower.evaluate(environment))
+        upper_i = math.ceil(outer.upper.evaluate(environment))
+        total = 0.0
+        i_first = max(lower_i, tile_i * tile_size)
+        i_last = min(upper_i, (tile_i + 1) * tile_size) - 1
+        for i in range(i_first, i_last + 1):
+            row_environment = {**environment, outer.iterator: i}
+            j_first = max(math.ceil(inner.lower.evaluate(row_environment)), tile_j * tile_size)
+            j_last = min(math.ceil(inner.upper.evaluate(row_environment)), (tile_j + 1) * tile_size) - 1
+            for j in range(j_first, j_last + 1):
+                total += point_work(i, j, parameter_values)
+        return total
+
+    return TiledNest(tile_nest=tile_nest, tile_size=tile_size, original=nest, inner_work=inner_work)

@@ -1,0 +1,142 @@
+"""Tests for load-balance metrics, the gain formula and the overhead model."""
+
+import pytest
+
+from repro.analysis import (
+    GainRow,
+    OverheadRow,
+    format_table,
+    gain,
+    gain_table,
+    iteration_distribution,
+    load_balance_report,
+    recovery_overhead,
+)
+from repro.analysis.loadbalance import report_from_simulation
+from repro.core import collapse
+from repro.ir import Loop, LoopNest
+from repro.openmp import CostModel, RecoveryCosts, simulate_outer_parallel
+
+
+@pytest.fixture
+def correlation_nest():
+    return LoopNest(
+        [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N"), Loop.make("k", 0, "N")],
+        parameters=["N"],
+        name="correlation",
+    )
+
+
+@pytest.fixture
+def covariance_like_nest():
+    # the whole nest is collapsed: one statement per collapsed iteration
+    return LoopNest(
+        [Loop.make("i", 0, "N"), Loop.make("j", "i", "N")],
+        parameters=["N"],
+        name="covariance",
+    )
+
+
+class TestGain:
+    def test_formula(self):
+        assert gain(10.0, 5.0) == pytest.approx(0.5)
+        assert gain(10.0, 10.0) == 0.0
+        assert gain(10.0, 12.0) == pytest.approx(-0.2)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            gain(0.0, 1.0)
+
+    def test_gain_row_properties(self):
+        row = GainRow(program="corr", time_static=100.0, time_dynamic=80.0, time_collapsed=50.0)
+        assert row.gain_vs_static == pytest.approx(0.5)
+        assert row.gain_vs_dynamic == pytest.approx(0.375)
+
+    def test_gain_table_has_six_columns(self):
+        rows = gain_table([GainRow("corr", 100.0, 80.0, 50.0)])
+        assert len(rows) == 1 and len(rows[0]) == 6
+        assert rows[0][0] == "corr"
+
+
+class TestLoadBalance:
+    def test_figure2_distribution_is_decreasing(self, correlation_nest):
+        """Fig. 2: under a static split of the outer loop, earlier threads get
+        more work than later ones on a triangular domain."""
+        loads = iteration_distribution(correlation_nest, {"N": 100}, threads=5)
+        assert len(loads) == 5
+        assert loads == sorted(loads, reverse=True)
+        assert loads[0] > 1.5 * loads[-1]
+
+    def test_report_metrics(self):
+        report = load_balance_report([4.0, 2.0, 2.0])
+        assert report.max_load == 4.0
+        assert report.mean_load == pytest.approx(8.0 / 3)
+        assert report.imbalance == pytest.approx(1.5)
+        assert report.spread == pytest.approx(2.0)
+
+    def test_report_empty(self):
+        report = load_balance_report([])
+        assert report.imbalance == 1.0
+
+    def test_report_from_simulation(self, correlation_nest):
+        result = simulate_outer_parallel(correlation_nest, {"N": 60}, 6)
+        report = report_from_simulation(result)
+        assert report.max_load == pytest.approx(result.makespan)
+
+    def test_total_work_is_preserved_by_distribution(self, correlation_nest):
+        loads = iteration_distribution(correlation_nest, {"N": 50}, threads=7)
+        model = CostModel(correlation_nest)
+        assert sum(loads) == pytest.approx(model.total_work({"N": 50}))
+
+
+class TestOverhead:
+    def test_overhead_row_formula(self):
+        row = OverheadRow("corr", serial_original=100.0, serial_transformed=103.0, recoveries=12)
+        assert row.overhead == pytest.approx(0.03)
+
+    def test_deep_kernels_have_negligible_overhead(self, correlation_nest):
+        collapsed = collapse(correlation_nest, 2)
+        row = recovery_overhead(collapsed, {"N": 300})
+        assert 0 <= row.overhead < 0.01
+
+    def test_fully_collapsed_kernels_have_visible_overhead(self, covariance_like_nest):
+        """Fig. 10: covariance/symm-style nests (everything collapsed) pay the
+        extra control on every statement instance."""
+        collapsed = collapse(covariance_like_nest, 2)
+        row = recovery_overhead(collapsed, {"N": 300})
+        assert row.overhead > 0.01
+
+    def test_overhead_still_far_below_parallel_gain(self, covariance_like_nest):
+        collapsed = collapse(covariance_like_nest, 2)
+        row = recovery_overhead(collapsed, {"N": 300})
+        assert row.overhead < 0.10
+
+    def test_recovery_count_scales_overhead(self, correlation_nest):
+        collapsed = collapse(correlation_nest, 2)
+        few = recovery_overhead(collapsed, {"N": 100}, recoveries=1)
+        many = recovery_overhead(collapsed, {"N": 100}, recoveries=48)
+        assert many.overhead > few.overhead
+
+    def test_custom_cost_model(self, correlation_nest):
+        collapsed = collapse(correlation_nest, 2)
+        expensive = CostModel(correlation_nest, RecoveryCosts(costly_recovery=10_000.0))
+        row = recovery_overhead(collapsed, {"N": 100}, cost_model=expensive)
+        assert row.overhead > recovery_overhead(collapsed, {"N": 100}).overhead
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["program", "gain"], [["corr", "+47%"], ["utma", "+39%"]], title="Fig. 9")
+        assert "Fig. 9" in text
+        assert "program" in text and "corr" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_alignment_pads_cells(self):
+        text = format_table(["name", "x"], [["longest-name", "1"], ["s", "2"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])

@@ -1,0 +1,150 @@
+"""Tests for the end-to-end collapse transformation."""
+
+import pytest
+
+from repro.core import CollapseError, collapse
+from repro.ir import ArrayAccess, Loop, LoopNest, Statement, enumerate_iterations
+from repro.symbolic import Polynomial
+
+
+class TestBasics:
+    def test_collapse_correlation(self, correlation_nest):
+        collapsed = collapse(correlation_nest)
+        N = Polynomial.variable("N")
+        assert collapsed.depth == 2
+        assert collapsed.total_polynomial == (N * (N - 1)) / 2
+        assert collapsed.total_iterations({"N": 5000}) == 5000 * 4999 // 2
+        assert collapsed.validate({"N": 12})
+
+    def test_collapse_figure6(self, figure6_nest):
+        collapsed = collapse(figure6_nest)
+        assert collapsed.total_iterations({"N": 9}) == (9 ** 3 - 9) // 6
+        assert collapsed.validate({"N": 9})
+
+    def test_collapse_partial_depth(self, figure6_nest):
+        collapsed = collapse(figure6_nest, depth=2)
+        assert collapsed.depth == 2
+        assert collapsed.iterators == ("i", "j")
+        assert collapsed.validate({"N": 10})
+
+    def test_collapse_depth_one(self, correlation_nest):
+        collapsed = collapse(correlation_nest, depth=1)
+        assert collapsed.total_iterations({"N": 10}) == 9
+        assert collapsed.recover_indices(4, {"N": 10}) == (3,)
+
+    def test_collapse_rectangular_matches_openmp_semantics(self, rectangular_nest):
+        """For constant bounds our collapse degenerates to OpenMP's own formula."""
+        collapsed = collapse(rectangular_nest)
+        values = {"N": 4, "M": 6}
+        assert collapsed.total_iterations(values) == 24
+        for pc in range(1, 25):
+            i, j = collapsed.recover_indices(pc, values)
+            assert (i, j) == ((pc - 1) // 6, (pc - 1) % 6)
+
+    def test_rank_and_recover_are_inverses(self, trapezoidal_nest):
+        collapsed = collapse(trapezoidal_nest)
+        values = {"N": 7, "M": 3}
+        for indices in enumerate_iterations(trapezoidal_nest, values):
+            assert collapsed.recover_indices(collapsed.rank_of(indices, values), values) == indices
+
+    def test_iterations_generator_matches_original_order(self, rhomboidal_nest):
+        collapsed = collapse(rhomboidal_nest)
+        values = {"N": 6}
+        assert list(collapsed.iterations(values)) == list(enumerate_iterations(rhomboidal_nest, values))
+
+    def test_describe_contains_trip_count_and_recoveries(self, correlation_nest):
+        text = collapse(correlation_nest).describe()
+        assert "trip count" in text
+        assert "floor" in text
+
+
+class TestPreconditionsAndErrors:
+    def test_invalid_depth(self, correlation_nest):
+        with pytest.raises(CollapseError):
+            collapse(correlation_nest, depth=0)
+        with pytest.raises(CollapseError):
+            collapse(correlation_nest, depth=5)
+
+    def test_dependence_check_allows_correlation(self):
+        nest = LoopNest(
+            [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")],
+            statements=[
+                Statement(
+                    "update",
+                    (
+                        ArrayAccess.write("a", "i", "j"),
+                        ArrayAccess.read("a", "i", "j"),
+                    ),
+                ),
+                Statement(
+                    "mirror",
+                    (ArrayAccess.write("a", "j", "i"), ArrayAccess.read("a", "i", "j")),
+                ),
+            ],
+            parameters=["N"],
+            name="correlation_with_accesses",
+        )
+        collapsed = collapse(nest, check_dependences=True)
+        assert collapsed.validate({"N": 8})
+
+    def test_dependence_check_rejects_carried_dependence(self):
+        nest = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", 0, "i + 1")],
+            statements=[
+                Statement(
+                    "recurrence",
+                    (ArrayAccess.write("a", "i + 1", "j"), ArrayAccess.read("a", "i", "j")),
+                )
+            ],
+            parameters=["N"],
+            name="recurrence",
+        )
+        with pytest.raises(CollapseError, match="dependence"):
+            collapse(nest, check_dependences=True)
+
+    def test_ltmp_inner_reduction_limits_collapse_depth(self):
+        """The paper's ltmp case: only the two outer loops can be collapsed."""
+        nest = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", 0, "i + 1"), Loop.make("k", "j", "i + 1")],
+            statements=[
+                Statement(
+                    "fma",
+                    (
+                        ArrayAccess.write("c", "i", "j"),
+                        ArrayAccess.read("c", "i", "j"),
+                        ArrayAccess.read("a", "i", "k"),
+                        ArrayAccess.read("b", "k", "j"),
+                    ),
+                )
+            ],
+            parameters=["N"],
+            name="ltmp",
+        )
+        with pytest.raises(CollapseError):
+            collapse(nest, depth=3, check_dependences=True)
+        collapsed = collapse(nest, depth=2, check_dependences=True)
+        assert collapsed.validate({"N": 7})
+
+    def test_closed_forms_flag(self, correlation_nest):
+        assert collapse(correlation_nest).uses_only_closed_forms()
+
+    def test_sample_parameters_override(self, correlation_nest):
+        collapsed = collapse(correlation_nest, sample_parameters={"N": 5})
+        assert collapsed.validate({"N": 17})
+
+    def test_custom_pc_name(self, correlation_nest):
+        collapsed = collapse(correlation_nest, pc_name="flat")
+        assert collapsed.pc_name == "flat"
+        assert collapsed.validate({"N": 9})
+
+
+class TestDegenerateDomains:
+    def test_empty_domain_has_zero_iterations(self, correlation_nest):
+        collapsed = collapse(correlation_nest)
+        assert collapsed.total_iterations({"N": 1}) == 0
+        assert list(collapsed.iterations({"N": 1})) == []
+
+    def test_single_iteration_domain(self, correlation_nest):
+        collapsed = collapse(correlation_nest)
+        assert collapsed.total_iterations({"N": 2}) == 1
+        assert collapsed.recover_indices(1, {"N": 2}) == (0, 1)

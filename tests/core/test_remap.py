@@ -1,0 +1,113 @@
+"""Tests for cross-shape iteration remapping (the paper's future-work application)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import IterationRemap, RemapError
+from repro.ir import Loop, LoopNest, enumerate_iterations
+
+
+def triangle_nest():
+    """The strict upper triangle: (N-1)N/2 iterations."""
+    return LoopNest(
+        [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")], parameters=["N"], name="triangle"
+    )
+
+
+def rectangle_nest():
+    """A rectangle: R * C iterations."""
+    return LoopNest(
+        [Loop.make("a", 0, "R"), Loop.make("b", 0, "C")], parameters=["R", "C"], name="rectangle"
+    )
+
+
+def flat_nest():
+    """A single loop of length L."""
+    return LoopNest([Loop.make("p", 0, "L")], parameters=["L"], name="flat")
+
+
+class TestCompatibility:
+    def test_equal_sizes_accepted(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        # triangle with N=9 has 36 iterations == 6x6 rectangle
+        assert remap.check_compatible({"N": 9}, {"R": 6, "C": 6}) == 36
+
+    def test_mismatched_sizes_rejected(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        with pytest.raises(RemapError):
+            remap.check_compatible({"N": 9}, {"R": 5, "C": 5})
+
+
+class TestBijection:
+    def test_triangle_to_rectangle_is_a_bijection(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        source_values, target_values = {"N": 9}, {"R": 6, "C": 6}
+        images = [
+            remap.map_indices(indices, source_values, target_values)
+            for indices in enumerate_iterations(triangle_nest(), source_values)
+        ]
+        assert sorted(images) == sorted(enumerate_iterations(rectangle_nest(), target_values))
+
+    def test_rank_order_is_preserved(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        source_values, target_values = {"N": 9}, {"R": 6, "C": 6}
+        images = [
+            remap.map_indices(indices, source_values, target_values)
+            for indices in enumerate_iterations(triangle_nest(), source_values)
+        ]
+        assert images == sorted(images)  # lexicographic order maps to lexicographic order
+
+    def test_inverse_round_trip(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        source_values, target_values = {"N": 9}, {"R": 6, "C": 6}
+        for indices in enumerate_iterations(triangle_nest(), source_values):
+            image = remap.map_indices(indices, source_values, target_values)
+            assert remap.inverse_indices(image, source_values, target_values) == indices
+
+    def test_triangle_to_flat_is_the_collapse_itself(self):
+        remap = IterationRemap.between(triangle_nest(), flat_nest())
+        source_values, target_values = {"N": 5}, {"L": 10}
+        for rank, indices in enumerate(enumerate_iterations(triangle_nest(), source_values), start=1):
+            assert remap.map_indices(indices, source_values, target_values) == (rank - 1,)
+
+
+class TestFusedIterations:
+    def test_lockstep_walk_covers_both_domains(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        source_values, target_values = {"N": 9}, {"R": 6, "C": 6}
+        pairs = list(remap.fused_iterations(source_values, target_values))
+        assert [p[0] for p in pairs] == list(enumerate_iterations(triangle_nest(), source_values))
+        assert [p[1] for p in pairs] == list(enumerate_iterations(rectangle_nest(), target_values))
+
+    def test_chunked_fusion_partitions_the_space(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        source_values, target_values = {"N": 9}, {"R": 6, "C": 6}
+        total = remap.check_compatible(source_values, target_values)
+        pairs = []
+        for start in range(1, total + 1, 7):
+            pairs.extend(
+                remap.fused_iterations(source_values, target_values, start, min(start + 6, total))
+            )
+        assert len(pairs) == total
+        assert [p[0] for p in pairs] == list(enumerate_iterations(triangle_nest(), source_values))
+
+    def test_incompatible_sizes_raise_before_iterating(self):
+        remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+        with pytest.raises(RemapError):
+            list(remap.fused_iterations({"N": 4}, {"R": 7, "C": 7}))
+
+
+@settings(max_examples=10, deadline=None)
+@given(rows=st.integers(min_value=1, max_value=6))
+def test_property_triangle_to_rectangle_bijection_for_matching_sizes(rows):
+    """A triangle of N=2k+1 rows always matches a k x (2k+1)... use exact pairs:
+    triangle(N) has N(N-1)/2 points; pick rectangle 1 x N(N-1)/2."""
+    n = rows + 2
+    size = n * (n - 1) // 2
+    remap = IterationRemap.between(triangle_nest(), rectangle_nest())
+    source_values, target_values = {"N": n}, {"R": 1, "C": size}
+    images = [
+        remap.map_indices(indices, source_values, target_values)
+        for indices in enumerate_iterations(triangle_nest(), source_values)
+    ]
+    assert images == [(0, c) for c in range(size)]

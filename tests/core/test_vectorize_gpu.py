@@ -1,0 +1,126 @@
+"""Tests for the vectorisation and GPU-warp schemes (Section VI)."""
+
+import pytest
+
+from repro.core import collapse, vectorize_collapsed, warp_schedule
+from repro.ir import enumerate_iterations
+
+
+@pytest.fixture
+def collapsed_correlation(correlation_nest):
+    return collapse(correlation_nest)
+
+
+@pytest.fixture
+def collapsed_figure6(figure6_nest):
+    return collapse(figure6_nest)
+
+
+class TestVectorize:
+    def test_lanes_cover_chunk_in_order(self, collapsed_correlation, correlation_nest):
+        values = {"N": 12}
+        total = collapsed_correlation.total_iterations(values)
+        execution = vectorize_collapsed(collapsed_correlation, values, 1, total, vlength=4)
+        assert execution.iterations() == list(enumerate_iterations(correlation_nest, values))
+
+    def test_single_costly_recovery_per_thread(self, collapsed_correlation):
+        values = {"N": 12}
+        execution = vectorize_collapsed(collapsed_correlation, values, 1, 30, vlength=8)
+        assert execution.stats.costly_recoveries == 1
+        assert execution.stats.iterations == 30
+
+    def test_bodies_have_vector_width_except_tail(self, collapsed_correlation):
+        values = {"N": 12}
+        execution = vectorize_collapsed(collapsed_correlation, values, 1, 30, vlength=8)
+        widths = [body.width for body in execution.bodies]
+        assert widths == [8, 8, 8, 6]
+        assert execution.bodies[0].first_pc == 1
+        assert execution.bodies[-1].first_pc == 25
+
+    def test_lanes_cross_row_boundaries(self, collapsed_correlation):
+        """A vector body may span several rows of the triangle — the point of
+        pre-computing the index tuples instead of incrementing only j."""
+        values = {"N": 6}
+        execution = vectorize_collapsed(collapsed_correlation, values, 1, 15, vlength=8)
+        first_body_rows = {indices[0] for indices in execution.bodies[0].lanes}
+        assert len(first_body_rows) > 1
+
+    def test_empty_chunk(self, collapsed_correlation):
+        execution = vectorize_collapsed(collapsed_correlation, {"N": 12}, 10, 5, vlength=4)
+        assert execution.bodies == []
+        assert execution.stats.costly_recoveries == 0
+
+    def test_vlength_one_degenerates_to_scalar(self, collapsed_figure6, figure6_nest):
+        values = {"N": 7}
+        total = collapsed_figure6.total_iterations(values)
+        execution = vectorize_collapsed(collapsed_figure6, values, 1, total, vlength=1)
+        assert execution.iterations() == list(enumerate_iterations(figure6_nest, values))
+
+    def test_invalid_vlength(self, collapsed_correlation):
+        with pytest.raises(ValueError):
+            vectorize_collapsed(collapsed_correlation, {"N": 6}, 1, 10, vlength=0)
+
+    def test_multi_thread_partition(self, collapsed_correlation, correlation_nest):
+        """Splitting the collapsed range over threads, then vectorising each
+        chunk, still covers the iteration space exactly once."""
+        values = {"N": 14}
+        total = collapsed_correlation.total_iterations(values)
+        threads = 4
+        everything = []
+        for thread in range(threads):
+            first = thread * total // threads + 1
+            last = (thread + 1) * total // threads
+            execution = vectorize_collapsed(
+                collapsed_correlation, values, first, last, vlength=4, thread=thread
+            )
+            everything.extend(execution.iterations())
+        assert everything == list(enumerate_iterations(correlation_nest, values))
+
+
+class TestWarpSchedule:
+    def test_threads_interleave_consecutive_iterations(self, collapsed_correlation):
+        values = {"N": 10}
+        executions = warp_schedule(collapsed_correlation, values, warp_size=4)
+        # thread t executes pc = t+1, t+5, t+9, ... -> its first iteration is
+        # the (t+1)-th original iteration
+        original = list(enumerate_iterations(collapsed_correlation.nest, values))
+        for thread, execution in enumerate(executions):
+            assert execution.iterations[0] == original[thread]
+
+    def test_union_of_threads_is_the_iteration_space(self, collapsed_figure6, figure6_nest):
+        values = {"N": 8}
+        executions = warp_schedule(collapsed_figure6, values, warp_size=5)
+        visited = [it for execution in executions for it in execution.iterations]
+        assert sorted(visited) == sorted(enumerate_iterations(figure6_nest, values))
+
+    def test_each_thread_pays_one_recovery(self, collapsed_correlation):
+        executions = warp_schedule(collapsed_correlation, {"N": 10}, warp_size=6)
+        for execution in executions:
+            if execution.iterations:
+                assert execution.stats.costly_recoveries == 1
+
+    def test_increments_are_warp_strided(self, collapsed_correlation):
+        values = {"N": 10}
+        warp_size = 4
+        executions = warp_schedule(collapsed_correlation, values, warp_size=warp_size)
+        busiest = executions[0]
+        # between two executed iterations the thread advanced warp_size times
+        assert busiest.stats.increments == warp_size * (len(busiest.iterations) - 1)
+
+    def test_warp_larger_than_domain(self, collapsed_correlation):
+        values = {"N": 3}   # 3 iterations only
+        executions = warp_schedule(collapsed_correlation, values, warp_size=8)
+        non_empty = [e for e in executions if e.iterations]
+        assert len(non_empty) == 3
+        assert all(len(e.iterations) == 1 for e in non_empty)
+
+    def test_restricted_pc_window(self, collapsed_correlation, correlation_nest):
+        values = {"N": 10}
+        executions = warp_schedule(collapsed_correlation, values, warp_size=3, first_pc=10, last_pc=20)
+        visited = [it for e in executions for it in e.iterations]
+        expected = list(enumerate_iterations(correlation_nest, values))[9:20]
+        assert sorted(visited) == sorted(expected)
+
+    def test_invalid_warp_size(self, collapsed_correlation):
+        with pytest.raises(ValueError):
+            warp_schedule(collapsed_correlation, {"N": 6}, warp_size=0)

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run end to end at a small size."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argument: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), argument],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script,argument,expected",
+    [
+        ("quickstart.py", "10", "collapsed execution visited all 45 iterations"),
+        ("triangular_matrix_operations.py", "80", "gain vs static"),
+        ("pluto_tiled_and_skewed.py", "128", "gain vs static"),
+        ("vectorization_and_gpu.py", "32", "warp size"),
+    ],
+)
+def test_example_runs_and_prints_its_checks(script, argument, expected):
+    result = run_example(script, argument)
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert expected in result.stdout

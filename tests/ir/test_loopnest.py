@@ -1,0 +1,144 @@
+"""Tests for the loop-nest IR."""
+
+import pytest
+
+from repro.ir import ArrayAccess, Loop, LoopNest, Statement
+from repro.polyhedra import AffineExpr
+from repro.symbolic import Polynomial
+
+
+def correlation_nest() -> LoopNest:
+    return LoopNest(
+        loops=[Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")],
+        statements=[
+            Statement(
+                "update",
+                (
+                    ArrayAccess.write("a", "i", "j"),
+                    ArrayAccess.read("a", "i", "j"),
+                ),
+            )
+        ],
+        parameters=["N"],
+        name="correlation",
+    )
+
+
+class TestLoop:
+    def test_make_coerces_bounds(self):
+        loop = Loop.make("j", "i + 1", "N")
+        assert loop.lower == AffineExpr.parse("i + 1")
+        assert loop.upper == AffineExpr.variable("N")
+
+    def test_trip_count_expression(self):
+        loop = Loop.make("j", "i + 1", "N")
+        assert loop.trip_count_expression() == Polynomial.variable("N") - Polynomial.variable("i") - 1
+
+    def test_header_source(self):
+        assert Loop.make("i", 0, "N - 1").header_source() == "for (i = 0; i < N - 1; i++)"
+
+    def test_parallel_flag_default(self):
+        assert Loop.make("i", 0, 10).parallel
+
+
+class TestArrayAccessAndStatement:
+    def test_read_write_constructors(self):
+        read = ArrayAccess.read("b", "k", "i")
+        write = ArrayAccess.write("a", "i", "j")
+        assert not read.is_write and write.is_write
+        assert len(read.subscripts) == 2
+
+    def test_statement_reads_writes(self):
+        statement = correlation_nest().statements[0]
+        assert len(statement.writes()) == 1
+        assert len(statement.reads()) == 1
+
+    def test_str_representations(self):
+        access = ArrayAccess.write("a", "i", "j")
+        assert str(access) == "W:a[i][j]"
+        assert "update" in str(correlation_nest().statements[0])
+
+
+class TestLoopNestConstruction:
+    def test_requires_at_least_one_loop(self):
+        with pytest.raises(ValueError):
+            LoopNest([], parameters=["N"])
+
+    def test_rejects_duplicate_iterators(self):
+        with pytest.raises(ValueError):
+            LoopNest([Loop.make("i", 0, 10), Loop.make("i", 0, 10)])
+
+    def test_rejects_inner_iterator_in_outer_bound(self):
+        # the outer bound must not reference the inner iterator
+        with pytest.raises(ValueError):
+            LoopNest([Loop.make("i", 0, "j"), Loop.make("j", 0, 10)])
+
+    def test_rejects_unknown_symbol_in_bound(self):
+        with pytest.raises(ValueError):
+            LoopNest([Loop.make("i", 0, "M")], parameters=["N"])
+
+    def test_accepts_fig5_model(self):
+        nest = LoopNest(
+            [
+                Loop.make("i", 0, "N"),
+                Loop.make("j", "i", "N + i"),
+                Loop.make("k", "i + j", "N + j"),
+            ],
+            parameters=["N"],
+        )
+        assert nest.depth == 3
+
+
+class TestLoopNestQueries:
+    def test_depth_and_iterators(self):
+        nest = correlation_nest()
+        assert nest.depth == 2
+        assert nest.iterators == ("i", "j")
+
+    def test_loop_lookup(self):
+        nest = correlation_nest()
+        assert nest.loop("j").lower == AffineExpr.parse("i + 1")
+        with pytest.raises(KeyError):
+            nest.loop("z")
+
+    def test_bounds_order(self):
+        bounds = correlation_nest().bounds()
+        assert [b[0] for b in bounds] == ["i", "j"]
+
+    def test_is_rectangular(self):
+        assert not correlation_nest().is_rectangular()
+        rectangular = LoopNest([Loop.make("i", 0, "N"), Loop.make("j", 0, "M")], parameters=["N", "M"])
+        assert rectangular.is_rectangular()
+        # only the outermost loop of the correlation nest is rectangular
+        assert correlation_nest().is_rectangular(depth=1)
+
+    def test_prefix(self):
+        outer = correlation_nest().prefix(1)
+        assert outer.depth == 1
+        assert outer.iterators == ("i",)
+        with pytest.raises(ValueError):
+            correlation_nest().prefix(0)
+
+    def test_prefix_keeps_statements_at_full_depth(self):
+        nest = correlation_nest()
+        assert nest.prefix(2).statements == nest.statements
+        assert nest.prefix(1).statements == ()
+
+    def test_domain_counts(self):
+        nest = correlation_nest()
+        assert nest.domain().count({"N": 6}) == 15
+        assert nest.domain(depth=1).count({"N": 6}) == 5
+
+    def test_iteration_count_polynomial(self):
+        nest = correlation_nest()
+        N = Polynomial.variable("N")
+        assert nest.iteration_count() == (N * (N - 1)) / 2
+
+    def test_source_rendering(self):
+        text = correlation_nest().source()
+        assert "for (i = 0; i < N - 1; i++)" in text
+        assert "for (j = i + 1; j < N; j++)" in text
+        assert "update(i, j);" in text
+
+    def test_repr_mentions_name_and_depth(self):
+        assert "correlation" in repr(correlation_nest())

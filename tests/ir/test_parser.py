@@ -1,0 +1,119 @@
+"""Tests for the C-like loop nest parser."""
+
+import pytest
+
+from repro.ir import ParseError, parse_loop_nest
+from repro.polyhedra import AffineExpr
+
+
+CORRELATION_SOURCE = """
+#pragma omp parallel for private(j, k) schedule(static)
+for (i = 0; i < N - 1; i++)
+  for (j = i + 1; j < N; j++)
+    S(i, j);
+"""
+
+FIGURE6_SOURCE = """
+for (i = 0; i < N - 1; i++)
+  for (j = 0; j < i + 1; j++)
+    for (k = j; k < i + 1; k++)
+      S(i, j, k);
+"""
+
+
+class TestBasicParsing:
+    def test_correlation_structure(self):
+        nest, pragma = parse_loop_nest(CORRELATION_SOURCE, parameters=["N"])
+        assert nest.depth == 2
+        assert nest.iterators == ("i", "j")
+        assert nest.loop("j").lower == AffineExpr.parse("i + 1")
+        assert pragma.schedule == "static"
+        assert pragma.collapse is None
+
+    def test_figure6_structure(self):
+        nest, _ = parse_loop_nest(FIGURE6_SOURCE, parameters=["N"])
+        assert nest.depth == 3
+        assert nest.loop("k").lower == AffineExpr.variable("j")
+        assert nest.loop("k").upper == AffineExpr.parse("i + 1")
+
+    def test_statement_names_collected(self):
+        nest, _ = parse_loop_nest(CORRELATION_SOURCE, parameters=["N"])
+        assert [s.name for s in nest.statements] == ["S"]
+
+    def test_collapse_clause(self):
+        source = "#pragma omp parallel for collapse(2) schedule(static)\n" + CORRELATION_SOURCE.split("\n", 2)[2]
+        nest, pragma = parse_loop_nest(source, parameters=["N"])
+        assert pragma.collapse == 2
+
+    def test_schedule_with_chunk(self):
+        source = CORRELATION_SOURCE.replace("schedule(static)", "schedule(dynamic, 16)")
+        _, pragma = parse_loop_nest(source, parameters=["N"])
+        assert pragma.schedule == "dynamic"
+        assert pragma.chunk == 16
+
+    def test_less_equal_upper_bound_becomes_exclusive(self):
+        source = "for (i = 0; i <= N; i++)\n  S(i);"
+        nest, _ = parse_loop_nest(source, parameters=["N"])
+        assert nest.loop("i").upper == AffineExpr.parse("N + 1")
+
+    def test_int_declaration_and_braces_tolerated(self):
+        source = """
+        for (int i = 0; i < N; i++) {
+          for (int j = 0; j < i + 1; j++) {
+            S(i, j);
+          }
+        }
+        """
+        nest, _ = parse_loop_nest(source, parameters=["N"])
+        assert nest.depth == 2
+
+    def test_comments_and_blank_lines_skipped(self):
+        source = "// a comment\n\n" + CORRELATION_SOURCE
+        nest, _ = parse_loop_nest(source, parameters=["N"])
+        assert nest.depth == 2
+
+
+class TestParserErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("", parameters=["N"])
+
+    def test_mixed_iterators_in_header(self):
+        with pytest.raises(ParseError, match="mixes iterators"):
+            parse_loop_nest("for (i = 0; j < N; i++)\n S(i);", parameters=["N"])
+
+    def test_non_affine_bound(self):
+        with pytest.raises(ParseError, match="non-affine|unsupported"):
+            parse_loop_nest("for (i = 0; i < N*N; i++)\n S(i);", parameters=["N"])
+
+    def test_unsupported_statement_line(self):
+        with pytest.raises(ParseError, match="unsupported line"):
+            parse_loop_nest("while (1) {}", parameters=["N"])
+
+    def test_pragma_after_loop_rejected(self):
+        source = "for (i = 0; i < N; i++)\n#pragma omp parallel for\n  S(i);"
+        with pytest.raises(ParseError, match="pragma"):
+            parse_loop_nest(source, parameters=["N"])
+
+    def test_undeclared_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 0; i < M; i++)\n S(i);", parameters=["N"])
+
+    def test_non_unit_stride_rejected(self):
+        with pytest.raises(ParseError):
+            parse_loop_nest("for (i = 0; i < N; i += 2)\n S(i);", parameters=["N"])
+
+
+class TestRoundTrip:
+    def test_parsed_nest_counts_match_paper(self):
+        nest, _ = parse_loop_nest(CORRELATION_SOURCE, parameters=["N"])
+        assert nest.iteration_count().evaluate({"N": 10}) == 45
+
+    def test_parsed_figure6_count(self):
+        nest, _ = parse_loop_nest(FIGURE6_SOURCE, parameters=["N"])
+        assert nest.iteration_count().evaluate({"N": 7}) == (7 ** 3 - 7) // 6
+
+    def test_source_round_trip_reparses(self):
+        nest, _ = parse_loop_nest(CORRELATION_SOURCE, parameters=["N"])
+        reparsed, _ = parse_loop_nest(nest.source(), parameters=["N"])
+        assert reparsed.bounds() == nest.bounds()

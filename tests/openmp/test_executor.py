@@ -1,0 +1,75 @@
+"""Tests for the multiprocessing executor (the wall-clock substitute for OpenMP threads)."""
+
+import pytest
+
+from repro.openmp import Chunk, run_chunks_in_processes, run_serial
+from repro.openmp.executor import ParallelRunResult
+
+
+def triangular_chunk_sum(first_pc: int, last_pc: int, parameter_values) -> int:
+    """Top-level picklable worker: sums the recovered outer indices of a chunk.
+
+    Rebuilds the collapsed correlation loop locally (cheap) so the test also
+    exercises pickling-free worker construction, the pattern the real
+    benchmarks use.
+    """
+    from repro.core import collapse
+    from repro.ir import Loop, LoopNest
+
+    nest = LoopNest(
+        [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")], parameters=["N"], name="corr"
+    )
+    collapsed = collapse(nest)
+    total = 0
+    for pc in range(first_pc, last_pc + 1):
+        i, j = collapsed.recover_indices(pc, parameter_values)
+        total += i + j
+    return total
+
+
+def expected_sum(n: int) -> int:
+    return sum(i + j for i in range(n - 1) for j in range(i + 1, n))
+
+
+class TestSerial:
+    def test_run_serial_matches_expected(self):
+        n = 20
+        result = run_serial(triangular_chunk_sum, n * (n - 1) // 2, {"N": n})
+        assert result.results == (expected_sum(n),)
+        assert result.workers == 1
+        assert result.elapsed_seconds >= 0
+
+    def test_run_serial_empty_range(self):
+        result = run_serial(triangular_chunk_sum, 0, {"N": 1})
+        assert result.results == ()
+
+
+class TestProcesses:
+    def test_partial_results_sum_to_serial_result(self):
+        n = 20
+        total = n * (n - 1) // 2
+        result = run_chunks_in_processes(triangular_chunk_sum, total, {"N": n}, workers=3)
+        assert sum(result.results) == expected_sum(n)
+        assert len(result.chunks) == 3
+
+    def test_single_worker_runs_inline(self):
+        n = 12
+        total = n * (n - 1) // 2
+        result = run_chunks_in_processes(triangular_chunk_sum, total, {"N": n}, workers=1)
+        assert sum(result.results) == expected_sum(n)
+
+    def test_custom_chunks(self):
+        n = 12
+        total = n * (n - 1) // 2
+        chunks = [Chunk(1, 10, 0), Chunk(11, total, 1)]
+        result = run_chunks_in_processes(triangular_chunk_sum, total, {"N": n}, workers=2, chunks=chunks)
+        assert sum(result.results) == expected_sum(n)
+        assert result.chunks == tuple(chunks)
+
+    def test_empty_total(self):
+        result = run_chunks_in_processes(triangular_chunk_sum, 0, {"N": 1}, workers=2)
+        assert result == ParallelRunResult(results=(), elapsed_seconds=0.0, chunks=(), workers=2)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            run_chunks_in_processes(triangular_chunk_sum, 10, {"N": 5}, workers=0)

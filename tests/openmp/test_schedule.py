@@ -1,0 +1,116 @@
+"""Tests for the OpenMP schedule chunkers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.openmp import Chunk, dynamic_chunks, guided_chunks, static_chunked_schedule, static_schedule
+
+
+def covered_iterations(chunks):
+    covered = []
+    for chunk in chunks:
+        covered.extend(range(chunk.first, chunk.last + 1))
+    return covered
+
+
+class TestChunk:
+    def test_size(self):
+        assert Chunk(3, 7).size == 5
+
+    def test_empty_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk(5, 4)
+
+
+class TestStatic:
+    def test_even_split(self):
+        chunks = static_schedule(12, 3)
+        assert [c.size for c in chunks] == [4, 4, 4]
+        assert [c.thread for c in chunks] == [0, 1, 2]
+
+    def test_remainder_goes_to_first_threads(self):
+        chunks = static_schedule(10, 4)
+        assert [c.size for c in chunks] == [3, 3, 2, 2]
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_schedule(3, 8)
+        assert len(chunks) == 3
+        assert all(c.size == 1 for c in chunks)
+
+    def test_zero_iterations(self):
+        assert static_schedule(0, 4) == []
+
+    def test_contiguous_coverage(self):
+        assert covered_iterations(static_schedule(17, 5)) == list(range(1, 18))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            static_schedule(10, 0)
+        with pytest.raises(ValueError):
+            static_schedule(-1, 4)
+
+
+class TestStaticChunked:
+    def test_round_robin_threads(self):
+        chunks = static_chunked_schedule(10, 3, 2)
+        assert [c.thread for c in chunks] == [0, 1, 2, 0, 1]
+
+    def test_last_chunk_may_be_short(self):
+        chunks = static_chunked_schedule(7, 2, 3)
+        assert [c.size for c in chunks] == [3, 3, 1]
+
+    def test_coverage(self):
+        assert covered_iterations(static_chunked_schedule(23, 4, 5)) == list(range(1, 24))
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            static_chunked_schedule(10, 2, 0)
+
+
+class TestDynamic:
+    def test_chunks_have_no_thread(self):
+        chunks = dynamic_chunks(10, 4)
+        assert all(c.thread is None for c in chunks)
+
+    def test_coverage_and_sizes(self):
+        chunks = dynamic_chunks(10, 4)
+        assert [c.size for c in chunks] == [4, 4, 2]
+        assert covered_iterations(chunks) == list(range(1, 11))
+
+    def test_chunk_one_is_openmp_default(self):
+        assert len(dynamic_chunks(7, 1)) == 7
+
+
+class TestGuided:
+    def test_decreasing_chunk_sizes(self):
+        chunks = guided_chunks(100, 4)
+        sizes = [c.size for c in chunks]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_min_chunk_respected(self):
+        chunks = guided_chunks(100, 4, min_chunk=8)
+        assert all(c.size >= 8 or c is chunks[-1] for c in chunks)
+
+    def test_coverage(self):
+        assert covered_iterations(guided_chunks(57, 3, 2)) == list(range(1, 58))
+
+
+@settings(max_examples=60)
+@given(total=st.integers(0, 300), threads=st.integers(1, 16))
+def test_property_static_partitions_exactly(total, threads):
+    chunks = static_schedule(total, threads)
+    assert covered_iterations(chunks) == list(range(1, total + 1))
+    sizes = [c.size for c in chunks]
+    if sizes:
+        assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=60)
+@given(total=st.integers(0, 300), threads=st.integers(1, 16), chunk=st.integers(1, 32))
+def test_property_every_schedule_partitions_exactly(total, threads, chunk):
+    for chunks in (
+        static_chunked_schedule(total, threads, chunk),
+        dynamic_chunks(total, chunk),
+        guided_chunks(total, threads, chunk),
+    ):
+        assert covered_iterations(chunks) == list(range(1, total + 1))

@@ -1,0 +1,151 @@
+"""Tests for affine expressions and their parser."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra import AffineExpr
+from repro.symbolic import Polynomial
+
+
+class TestConstruction:
+    def test_build_drops_zero_coefficients(self):
+        expr = AffineExpr.build({"i": 0, "j": 2}, 1)
+        assert expr.variables() == {"j"}
+
+    def test_constant_expr(self):
+        expr = AffineExpr.constant_expr(5)
+        assert expr.is_constant()
+        assert expr.constant == 5
+
+    def test_variable(self):
+        expr = AffineExpr.variable("i")
+        assert expr.coefficient("i") == 1
+        assert expr.constant == 0
+
+    def test_coerce_int_string_polynomial(self):
+        assert AffineExpr.coerce(3).constant == 3
+        assert AffineExpr.coerce("i + 1").coefficient("i") == 1
+        assert AffineExpr.coerce(Polynomial.variable("N") - 1).coefficient("N") == 1
+
+    def test_coerce_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            AffineExpr.coerce(3.5)
+
+    def test_from_polynomial_rejects_nonlinear(self):
+        with pytest.raises(ValueError):
+            AffineExpr.from_polynomial(Polynomial.variable("i") ** 2)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("i", {"i": 1}),
+            ("i + 1", {"i": 1}),
+            ("i+1", {"i": 1}),
+            ("N - 1", {"N": 1}),
+            ("2*i - j + 3", {"i": 2, "j": -1}),
+            ("2i + 3j", {"i": 2, "j": 3}),
+            ("-i + N", {"i": -1, "N": 1}),
+            ("0", {}),
+            ("i + j + k", {"i": 1, "j": 1, "k": 1}),
+        ],
+    )
+    def test_coefficients(self, text, expected):
+        expr = AffineExpr.parse(text)
+        for var, coefficient in expected.items():
+            assert expr.coefficient(var) == coefficient
+
+    @pytest.mark.parametrize(
+        "text,constant",
+        [("i + 1", 1), ("N - 1", -1), ("7", 7), ("-3", -3), ("i", 0), ("1/2", Fraction(1, 2))],
+    )
+    def test_constants(self, text, constant):
+        assert AffineExpr.parse(text).constant == constant
+
+    @pytest.mark.parametrize("text", ["", "i*j", "i**2", "foo(", "+ +"])
+    def test_rejects_invalid(self, text):
+        with pytest.raises(ValueError):
+            AffineExpr.parse(text)
+
+    def test_round_trip_through_polynomial(self):
+        expr = AffineExpr.parse("2*i - j + 3")
+        assert AffineExpr.from_polynomial(expr.to_polynomial()) == expr
+
+
+class TestArithmetic:
+    def test_addition(self):
+        total = AffineExpr.parse("i + 1") + AffineExpr.parse("j - 1")
+        assert total == AffineExpr.parse("i + j")
+
+    def test_addition_with_int(self):
+        assert (AffineExpr.variable("i") + 3).constant == 3
+
+    def test_subtraction(self):
+        assert (AffineExpr.parse("i + 1") - "i") == AffineExpr.constant_expr(1)
+
+    def test_rsub(self):
+        result = 1 - AffineExpr.variable("i")
+        assert result.coefficient("i") == -1
+        assert result.constant == 1
+
+    def test_scalar_multiplication(self):
+        doubled = AffineExpr.parse("i + 2") * 2
+        assert doubled == AffineExpr.parse("2*i + 4")
+
+    def test_negation(self):
+        assert -AffineExpr.parse("i - 1") == AffineExpr.parse("1 - i")
+
+    def test_substitute(self):
+        expr = AffineExpr.parse("i + j + 1")
+        result = expr.substitute({"j": AffineExpr.parse("i + 1")})
+        assert result == AffineExpr.parse("2*i + 2")
+
+    def test_substitute_keeps_unmapped(self):
+        expr = AffineExpr.parse("i + N")
+        assert expr.substitute({"i": 0}) == AffineExpr.variable("N")
+
+    def test_evaluate(self):
+        assert AffineExpr.parse("2*i - j + 3").evaluate({"i": 4, "j": 1}) == 10
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.variable("i").evaluate({})
+
+
+class TestPrinting:
+    def test_str_simple(self):
+        assert str(AffineExpr.parse("i + 1")) == "i + 1"
+
+    def test_str_constant_only(self):
+        assert str(AffineExpr.constant_expr(0)) == "0"
+
+    def test_c_source(self):
+        text = AffineExpr.parse("2*i + 1").to_c_source()
+        assert "2" in text and "i" in text
+
+
+@settings(max_examples=60)
+@given(
+    ci=st.integers(-5, 5),
+    cj=st.integers(-5, 5),
+    const=st.integers(-10, 10),
+    i=st.integers(-20, 20),
+    j=st.integers(-20, 20),
+)
+def test_property_evaluation_matches_direct_formula(ci, cj, const, i, j):
+    expr = AffineExpr.build({"i": ci, "j": cj}, const)
+    assert expr.evaluate({"i": i, "j": j}) == ci * i + cj * j + const
+
+
+@settings(max_examples=60)
+@given(
+    a=st.integers(-5, 5), b=st.integers(-5, 5), x=st.integers(-10, 10), y=st.integers(-10, 10)
+)
+def test_property_substitution_composes(a, b, x, y):
+    """expr[i -> a*k + b] evaluated at k equals expr evaluated at i = a*k + b."""
+    expr = AffineExpr.build({"i": 3, "j": -2}, 7)
+    substituted = expr.substitute({"i": AffineExpr.build({"k": a}, b)})
+    assert substituted.evaluate({"k": x, "j": y}) == expr.evaluate({"i": a * x + b, "j": y})

@@ -1,0 +1,79 @@
+"""Tests for affine constraints."""
+
+import pytest
+
+from repro.polyhedra import AffineExpr, Constraint
+
+
+class TestConstructors:
+    def test_greater_equal(self):
+        c = Constraint.greater_equal("i", 0)
+        assert c.is_satisfied({"i": 0})
+        assert c.is_satisfied({"i": 3})
+        assert not c.is_satisfied({"i": -1})
+
+    def test_less_equal(self):
+        c = Constraint.less_equal("i", "N - 1")
+        assert c.is_satisfied({"i": 4, "N": 5})
+        assert not c.is_satisfied({"i": 5, "N": 5})
+
+    def test_less_than_is_integer_strict(self):
+        c = Constraint.less_than("j", "N")
+        assert c.is_satisfied({"j": 4, "N": 5})
+        assert not c.is_satisfied({"j": 5, "N": 5})
+
+    def test_greater_than(self):
+        c = Constraint.greater_than("j", "i")
+        assert c.is_satisfied({"j": 3, "i": 2})
+        assert not c.is_satisfied({"j": 2, "i": 2})
+
+    def test_equals(self):
+        c = Constraint.equals("i", "j")
+        assert c.is_equality
+        assert c.is_satisfied({"i": 2, "j": 2})
+        assert not c.is_satisfied({"i": 2, "j": 3})
+
+
+class TestOperations:
+    def test_variables(self):
+        assert Constraint.less_than("i + j", "N").variables() == {"i", "j", "N"}
+
+    def test_involves(self):
+        c = Constraint.greater_equal("i", "j + 1")
+        assert c.involves("i") and c.involves("j")
+        assert not c.involves("N")
+
+    def test_coefficient_signs(self):
+        c = Constraint.greater_equal("i", "j")  # i - j >= 0
+        assert c.coefficient("i") == 1
+        assert c.coefficient("j") == -1
+
+    def test_substitute(self):
+        c = Constraint.less_than("j", "N").substitute({"j": AffineExpr.parse("i + 1")})
+        assert c.is_satisfied({"i": 3, "N": 5})
+        assert not c.is_satisfied({"i": 4, "N": 5})
+
+    def test_negate_inequality(self):
+        c = Constraint.greater_equal("i", 5)
+        negated = c.negate()
+        for value in range(0, 10):
+            assert c.is_satisfied({"i": value}) != negated.is_satisfied({"i": value})
+
+    def test_negate_equality_raises(self):
+        with pytest.raises(ValueError):
+            Constraint.equals("i", 0).negate()
+
+    def test_equality_splits_into_two_inequalities(self):
+        c = Constraint.equals("i", "j")
+        halves = c.as_inequalities()
+        assert len(halves) == 2
+        assert all(h.is_satisfied({"i": 4, "j": 4}) for h in halves)
+        assert not all(h.is_satisfied({"i": 4, "j": 5}) for h in halves)
+
+    def test_inequality_as_inequalities_is_identity(self):
+        c = Constraint.greater_equal("i", 0)
+        assert c.as_inequalities() == (c,)
+
+    def test_str(self):
+        assert ">=" in str(Constraint.greater_equal("i", 0))
+        assert "==" in str(Constraint.equals("i", 0))

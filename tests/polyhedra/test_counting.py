@@ -1,0 +1,145 @@
+"""Tests for Ehrhart counting: symbolic counts validated against enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra import EhrhartPolynomial, Polyhedron, loop_nest_count
+from repro.polyhedra.counting import prefix_counts
+from repro.symbolic import Polynomial
+
+
+def P(name):
+    return Polynomial.variable(name)
+
+
+# The non-rectangular shapes the paper targets (Section I: triangular,
+# tetrahedral, trapezoidal, rhomboidal, parallelepiped).
+SHAPES = {
+    "triangular": dict(
+        bounds=[("i", 0, "N - 1"), ("j", "i + 1", "N")],
+        parameters=["N"],
+        closed_form=lambda n: n * (n - 1) // 2,
+        sizes=[2, 3, 5, 9],
+    ),
+    "tetrahedral": dict(
+        bounds=[("i", 0, "N - 1"), ("j", 0, "i + 1"), ("k", "j", "i + 1")],
+        parameters=["N"],
+        closed_form=lambda n: (n ** 3 - n) // 6,
+        sizes=[2, 3, 5, 7],
+    ),
+    "trapezoidal": dict(
+        bounds=[("i", 0, "N"), ("j", 0, "i + M")],
+        parameters=["N", "M"],
+        closed_form=None,
+        sizes=[(4, 3), (5, 2), (6, 6)],
+    ),
+    "rhomboidal": dict(
+        bounds=[("i", 0, "N"), ("j", "i", "i + N")],
+        parameters=["N"],
+        closed_form=lambda n: n * n,
+        sizes=[1, 3, 6, 9],
+    ),
+    "rectangular": dict(
+        bounds=[("i", 0, "N"), ("j", 0, "M")],
+        parameters=["N", "M"],
+        closed_form=None,
+        sizes=[(3, 4), (5, 5), (7, 2)],
+    ),
+}
+
+
+class TestLoopNestCount:
+    def test_correlation_count_matches_paper(self):
+        count = loop_nest_count([("i", 0, "N - 1"), ("j", "i + 1", "N")])
+        assert count == (P("N") * (P("N") - 1)) / 2
+
+    def test_figure6_count_matches_paper(self):
+        count = loop_nest_count([("i", 0, "N - 1"), ("j", 0, "i + 1"), ("k", "j", "i + 1")])
+        assert count == (P("N") ** 3 - P("N")) / 6
+
+    def test_rectangular_count(self):
+        count = loop_nest_count([("i", 0, "N"), ("j", 0, "M")])
+        assert count == P("N") * P("M")
+
+    def test_inner_summand(self):
+        # weighting each (i, j) iteration by the trip count of an inner k loop of N iterations
+        count = loop_nest_count([("i", 0, "N - 1"), ("j", "i + 1", "N")], summand=P("N"))
+        assert count == P("N") * (P("N") * (P("N") - 1)) / 2
+
+    @pytest.mark.parametrize("name", sorted(SHAPES))
+    def test_counts_match_enumeration(self, name):
+        shape = SHAPES[name]
+        count = loop_nest_count(shape["bounds"])
+        domain = Polyhedron.from_bounds(shape["bounds"], shape["parameters"])
+        for size in shape["sizes"]:
+            values = (
+                {"N": size} if isinstance(size, int) else dict(zip(["N", "M"], size))
+            )
+            assert count.evaluate(values) == domain.count(values), (name, size)
+
+    @pytest.mark.parametrize("name", [n for n, s in SHAPES.items() if s["closed_form"]])
+    def test_counts_match_closed_forms(self, name):
+        shape = SHAPES[name]
+        count = loop_nest_count(shape["bounds"])
+        for size in shape["sizes"]:
+            assert count.evaluate({"N": size}) == shape["closed_form"](size)
+
+
+class TestPrefixCounts:
+    def test_depths_and_values_for_correlation(self):
+        counts = prefix_counts([("i", 0, "N - 1"), ("j", "i + 1", "N")])
+        # counts[0] = whole nest, counts[1] = one row of j, counts[2] = single iteration
+        assert len(counts) == 3
+        assert counts[0] == (P("N") * (P("N") - 1)) / 2
+        assert counts[1] == P("N") - 1 - P("i")
+        assert counts[2] == Polynomial.constant(1)
+
+    def test_innermost_count_is_one(self):
+        counts = prefix_counts([("i", 0, "N"), ("j", 0, "i + 1"), ("k", 0, "j + 1")])
+        assert counts[-1] == Polynomial.constant(1)
+
+    def test_prefix_count_evaluates_to_row_size(self):
+        counts = prefix_counts([("i", 0, "N - 1"), ("j", "i + 1", "N")])
+        # for N=10, row i=3 has 10 - 1 - 3 = 6 iterations
+        assert counts[1].evaluate({"N": 10, "i": 3}) == 6
+
+
+class TestEhrhartPolynomial:
+    def test_of_loop_nest_and_validate(self):
+        ehrhart = EhrhartPolynomial.of_loop_nest(
+            [("i", 0, "N - 1"), ("j", "i + 1", "N")], parameters=["N"]
+        )
+        assert ehrhart.degree == 2
+        for n in (2, 4, 7):
+            assert ehrhart.validate({"N": n})
+
+    def test_evaluate_returns_int(self):
+        ehrhart = EhrhartPolynomial.of_loop_nest(
+            [("i", 0, "N"), ("j", 0, "N")], parameters=["N"]
+        )
+        assert ehrhart.evaluate({"N": 6}) == 36
+        assert isinstance(ehrhart.evaluate({"N": 6}), int)
+
+    def test_str_is_polynomial_text(self):
+        ehrhart = EhrhartPolynomial.of_loop_nest([("i", 0, "N")], parameters=["N"])
+        assert str(ehrhart) == "N"
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=0, max_value=9), m=st.integers(min_value=0, max_value=9))
+def test_property_trapezoid_count_matches_enumeration(n, m):
+    bounds = [("i", 0, "N"), ("j", 0, "i + M")]
+    count = loop_nest_count(bounds)
+    brute = sum(1 for i in range(n) for j in range(i + m))
+    assert count.evaluate({"N": n, "M": m}) == brute
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=0, max_value=8))
+def test_property_simplex_count_is_binomial(n):
+    """A 3-simplex nest counts C(n+2, 3) points."""
+    from math import comb
+
+    bounds = [("i", 0, "N"), ("j", 0, "i + 1"), ("k", 0, "j + 1")]
+    count = loop_nest_count(bounds)
+    assert count.evaluate({"N": n}) == comb(n + 2, 3)

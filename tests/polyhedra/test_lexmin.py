@@ -1,0 +1,87 @@
+"""Tests for parametric lexicographic minima (the ISL-lexmin stand-in)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra import AffineExpr, Polyhedron, numeric_lexmin, parametric_lexmin
+
+
+CORRELATION = [("i", 0, "N - 1"), ("j", "i + 1", "N")]
+FIGURE6 = [("i", 0, "N - 1"), ("j", 0, "i + 1"), ("k", "j", "i + 1")]
+
+
+class TestParametricLexmin:
+    def test_correlation_inner_minimum_is_lower_bound(self):
+        minima = parametric_lexmin(CORRELATION, from_level=1)
+        assert minima == {"j": AffineExpr.parse("i + 1")}
+
+    def test_whole_nest_minimum(self):
+        minima = parametric_lexmin(CORRELATION, from_level=0)
+        assert minima["i"] == AffineExpr.constant_expr(0)
+        # j's minimum substitutes i's minimum: i+1 at i=0 is 1
+        assert minima["j"] == AffineExpr.constant_expr(1)
+
+    def test_figure6_chained_minima(self):
+        minima = parametric_lexmin(FIGURE6, from_level=1)
+        assert minima["j"] == AffineExpr.constant_expr(0)
+        # k's lower bound is j, whose minimum is 0
+        assert minima["k"] == AffineExpr.constant_expr(0)
+
+    def test_from_level_equal_depth_is_empty(self):
+        assert parametric_lexmin(CORRELATION, from_level=2) == {}
+
+    def test_from_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            parametric_lexmin(CORRELATION, from_level=5)
+
+    def test_minima_depend_on_outer_iterators(self):
+        nest = [("i", 0, "N"), ("j", "2*i + 1", "N + i")]
+        minima = parametric_lexmin(nest, from_level=1)
+        assert minima["j"] == AffineExpr.parse("2*i + 1")
+
+
+class TestNumericLexmin:
+    def test_global_minimum(self):
+        domain = Polyhedron.from_bounds(CORRELATION, ["N"])
+        assert numeric_lexmin(domain, {"N": 6}) == (0, 1)
+
+    def test_minimum_with_prefix(self):
+        domain = Polyhedron.from_bounds(CORRELATION, ["N"])
+        assert numeric_lexmin(domain, {"N": 6}, prefix=(3,)) == (3, 4)
+
+    def test_empty_prefix_region_returns_none(self):
+        domain = Polyhedron.from_bounds(CORRELATION, ["N"])
+        assert numeric_lexmin(domain, {"N": 6}, prefix=(9,)) is None
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_parametric_matches_numeric_for_correlation(self, n):
+        domain = Polyhedron.from_bounds(CORRELATION, ["N"])
+        minima = parametric_lexmin(CORRELATION, from_level=1)
+        for i in range(n - 1):
+            numeric = numeric_lexmin(domain, {"N": n}, prefix=(i,))
+            assert numeric is not None
+            assert numeric[1] == minima["j"].evaluate({"i": i, "N": n})
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_parametric_matches_numeric_for_figure6(self, n):
+        domain = Polyhedron.from_bounds(FIGURE6, ["N"])
+        minima = parametric_lexmin(FIGURE6, from_level=1)
+        for i in range(n - 1):
+            numeric = numeric_lexmin(domain, {"N": n}, prefix=(i,))
+            assert numeric is not None
+            expected_j = minima["j"].evaluate({"i": i, "N": n})
+            expected_k = minima["k"].evaluate({"i": i, "N": n})
+            assert numeric[1:] == (expected_j, expected_k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=2, max_value=8), a=st.integers(min_value=0, max_value=3))
+def test_property_parametric_lexmin_matches_oracle(n, a):
+    """For a skewed nest, the chained lower-bound substitution equals the oracle."""
+    nest = [("i", 0, "N"), ("j", f"i + {a}", f"N + {a} + 1")]
+    domain = Polyhedron.from_bounds(nest, ["N"])
+    minima = parametric_lexmin(nest, from_level=1)
+    for i in range(n):
+        numeric = numeric_lexmin(domain, {"N": n}, prefix=(i,))
+        assert numeric is not None
+        assert numeric[1] == minima["j"].evaluate({"i": i, "N": n})

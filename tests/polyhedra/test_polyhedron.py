@@ -1,0 +1,208 @@
+"""Tests for polyhedra, Fourier-Motzkin elimination and point enumeration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.polyhedra import AffineExpr, Constraint, Polyhedron
+from repro.polyhedra.fourier_motzkin import (
+    constant_bounds,
+    eliminate_variable,
+    is_rationally_empty,
+    variable_bounds,
+)
+
+
+def triangular_domain():
+    """The correlation outer domain: 0 <= i < N-1, i+1 <= j < N."""
+    return Polyhedron.from_bounds(
+        [("i", 0, "N - 1"), ("j", "i + 1", "N")],
+        parameters=["N"],
+    )
+
+
+class TestConstruction:
+    def test_from_bounds_builds_two_constraints_per_loop(self):
+        domain = triangular_domain()
+        assert len(domain.constraints) == 4
+        assert domain.dimensions == ("i", "j")
+        assert domain.parameters == ("N",)
+
+    def test_duplicate_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Polyhedron(["i", "i"])
+
+    def test_dimension_parameter_clash_rejected(self):
+        with pytest.raises(ValueError):
+            Polyhedron(["i"], parameters=["i"])
+
+    def test_undeclared_names_rejected(self):
+        with pytest.raises(ValueError):
+            Polyhedron(["i"], [Constraint.greater_equal("i", "M")])
+
+    def test_str_mentions_parameters(self):
+        assert "[N]" in str(triangular_domain())
+
+
+class TestMembership:
+    def test_contains_inside_points(self):
+        domain = triangular_domain()
+        assert domain.contains((0, 1), {"N": 5})
+        assert domain.contains((3, 4), {"N": 5})
+
+    def test_contains_rejects_outside_points(self):
+        domain = triangular_domain()
+        assert not domain.contains((1, 1), {"N": 5})     # j must exceed i
+        assert not domain.contains((4, 5), {"N": 5})     # i < N-1 violated
+        assert not domain.contains((0, 5), {"N": 5})     # j < N violated
+
+    def test_contains_wrong_arity_raises(self):
+        with pytest.raises(ValueError):
+            triangular_domain().contains((1,), {"N": 5})
+
+
+class TestEnumeration:
+    def test_points_in_lexicographic_order(self):
+        domain = triangular_domain()
+        points = list(domain.enumerate_points({"N": 4}))
+        assert points == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+    def test_count_matches_closed_form(self):
+        domain = triangular_domain()
+        for n in (2, 3, 5, 8, 12):
+            assert domain.count({"N": n}) == n * (n - 1) // 2
+
+    def test_missing_parameter_raises(self):
+        with pytest.raises(ValueError):
+            list(triangular_domain().enumerate_points({}))
+
+    def test_unbounded_dimension_raises(self):
+        unbounded = Polyhedron(["i"], [Constraint.greater_equal("i", 0)])
+        with pytest.raises(ValueError):
+            list(unbounded.enumerate_points({}))
+
+    def test_empty_domain_enumerates_nothing(self):
+        domain = triangular_domain()
+        assert list(domain.enumerate_points({"N": 1})) == []
+
+
+class TestOperations:
+    def test_is_empty_with_values(self):
+        domain = triangular_domain()
+        assert domain.is_empty({"N": 1})
+        assert not domain.is_empty({"N": 3})
+
+    def test_rational_emptiness_of_contradiction(self):
+        contradictory = Polyhedron(
+            ["i"],
+            [Constraint.greater_equal("i", 5), Constraint.less_equal("i", 3)],
+        )
+        assert contradictory.is_empty()
+
+    def test_rational_emptiness_not_proven_for_parametric(self):
+        # not provably empty for every N
+        assert not triangular_domain().is_empty()
+
+    def test_project_out_inner_dimension(self):
+        domain = triangular_domain()
+        projected = domain.project_out("j")
+        assert projected.dimensions == ("i",)
+        # the shadow is 0 <= i <= N-2 (for N >= 2)
+        assert [p[0] for p in projected.enumerate_points({"N": 5})] == [0, 1, 2, 3]
+
+    def test_project_out_unknown_raises(self):
+        with pytest.raises(ValueError):
+            triangular_domain().project_out("z")
+
+    def test_intersect(self):
+        domain = triangular_domain()
+        upper_half = Polyhedron(
+            ["i", "j"], [Constraint.greater_equal("i", 2)], parameters=["N"]
+        )
+        both = domain.intersect(upper_half)
+        assert all(point[0] >= 2 for point in both.enumerate_points({"N": 6}))
+
+    def test_intersect_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            triangular_domain().intersect(Polyhedron(["i"]))
+
+    def test_with_constraints(self):
+        domain = triangular_domain().with_constraints([Constraint.equals("i", 1)])
+        assert [p for p in domain.enumerate_points({"N": 5})] == [(1, 2), (1, 3), (1, 4)]
+
+    def test_bounds_of(self):
+        lower, upper = triangular_domain().bounds_of("j")
+        assert AffineExpr.parse("i + 1") in lower
+        assert AffineExpr.parse("N - 1") in upper
+
+
+class TestFourierMotzkin:
+    def test_eliminate_variable_keeps_shadow(self):
+        constraints = [
+            Constraint.greater_equal("j", "i + 1"),
+            Constraint.less_equal("j", "N - 1"),
+        ]
+        projected = eliminate_variable(constraints, "j")
+        # shadow constraint: N - 1 >= i + 1  i.e.  N - i - 2 >= 0
+        assert any(
+            c.expression == AffineExpr.parse("N - i - 2") for c in projected
+        )
+
+    def test_variable_bounds(self):
+        constraints = [
+            Constraint.greater_equal("j", "i + 1"),
+            Constraint.less_equal("j", "N - 1"),
+            Constraint.greater_equal("i", 0),
+        ]
+        lower, upper = variable_bounds(constraints, "j")
+        assert lower == [AffineExpr.parse("i + 1")]
+        assert upper == [AffineExpr.parse("N - 1")]
+
+    def test_is_rationally_empty_detects_contradiction(self):
+        constraints = [
+            Constraint.greater_equal("i", "j + 1"),
+            Constraint.greater_equal("j", "i + 1"),
+        ]
+        assert is_rationally_empty(constraints, ["i", "j"])
+
+    def test_is_rationally_empty_accepts_feasible(self):
+        constraints = [
+            Constraint.greater_equal("i", 0),
+            Constraint.less_equal("i", 10),
+        ]
+        assert not is_rationally_empty(constraints, ["i"])
+
+    def test_constant_bounds(self):
+        constraints = [
+            Constraint.greater_equal("j", "i + 1"),
+            Constraint.less_than("j", "N"),
+        ]
+        low, high = constant_bounds(constraints, "j", {"i": 2, "N": 7})
+        assert (low, high) == (3, 6)
+
+    def test_constant_bounds_ignores_unresolvable(self):
+        constraints = [Constraint.greater_equal("j", "i + 1")]
+        low, high = constant_bounds(constraints, "j", {})
+        assert low is None and high is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=0, max_value=12))
+def test_property_triangular_count_matches_formula(n):
+    assert triangular_domain().count({"N": n}) == max(0, n * (n - 1) // 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    m=st.integers(min_value=1, max_value=8),
+)
+def test_property_projection_preserves_shadow_points(n, m):
+    """Every i appearing in some (i, j) of the domain appears in the projection."""
+    domain = Polyhedron.from_bounds(
+        [("i", 0, "N"), ("j", "i", "i + M")], parameters=["N", "M"]
+    )
+    values = {"N": n, "M": m}
+    shadow = {p[0] for p in domain.enumerate_points(values)}
+    projected = domain.project_out("j")
+    projected_values = {p[0] for p in projected.enumerate_points(values)}
+    assert shadow <= projected_values

@@ -1,0 +1,241 @@
+"""Unit and property tests for :mod:`repro.symbolic.polynomial`."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import Monomial, Polynomial
+
+
+def P(name):
+    return Polynomial.variable(name)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert str(Polynomial.zero()) == "0"
+
+    def test_constant(self):
+        p = Polynomial.constant(Fraction(3, 2))
+        assert p.is_constant()
+        assert p.constant_value() == Fraction(3, 2)
+
+    def test_variable(self):
+        p = P("i")
+        assert p.variables() == {"i"}
+        assert p.degree_in("i") == 1
+
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial({Monomial.variable("i"): 0, Monomial.one(): 5})
+        assert p.variables() == frozenset()
+        assert p.constant_value() == 5
+
+    def test_from_coefficients(self):
+        p = Polynomial.from_coefficients("x", [1, 0, 3])
+        assert p == Polynomial.constant(1) + 3 * P("x") ** 2
+
+    def test_affine(self):
+        p = Polynomial.affine({"i": 2, "j": -1}, 5)
+        assert p == 2 * P("i") - P("j") + 5
+        assert p.is_affine()
+
+    def test_rejects_float_coefficients(self):
+        with pytest.raises(TypeError):
+            Polynomial({Monomial.one(): 0.5})
+
+    def test_rejects_non_monomial_keys(self):
+        with pytest.raises(TypeError):
+            Polynomial({"i": 1})
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert P("i") + P("i") == 2 * P("i")
+
+    def test_addition_with_int(self):
+        assert (P("i") + 1).coefficient(Monomial.one()) == 1
+
+    def test_subtraction_cancels(self):
+        assert (P("i") - P("i")).is_zero()
+
+    def test_rsub(self):
+        assert 1 - P("i") == Polynomial.constant(1) - P("i")
+
+    def test_multiplication_expands(self):
+        # (i + j)^2 = i^2 + 2ij + j^2
+        sq = (P("i") + P("j")) ** 2
+        assert sq == P("i") ** 2 + 2 * P("i") * P("j") + P("j") ** 2
+
+    def test_scalar_division(self):
+        assert (2 * P("i")) / 2 == P("i")
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            P("i") / 0
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            P("i") ** -1
+
+    def test_power_zero_is_one(self):
+        assert (P("i") + 3) ** 0 == Polynomial.constant(1)
+
+    def test_equality_with_scalar(self):
+        assert Polynomial.constant(4) == 4
+        assert Polynomial.constant(4) != 5
+
+    def test_hash_consistency(self):
+        assert hash(P("i") + 1) == hash(1 + P("i"))
+
+
+class TestQueries:
+    def test_total_degree(self):
+        assert (P("i") ** 2 * P("j") + P("k")).total_degree == 3
+
+    def test_degree_in(self):
+        p = P("i") ** 2 * P("j") + P("j") ** 3
+        assert p.degree_in("i") == 2
+        assert p.degree_in("j") == 3
+        assert p.degree_in("z") == 0
+
+    def test_is_affine(self):
+        assert Polynomial.affine({"i": 1}, 7).is_affine()
+        assert not (P("i") * P("j")).is_affine()
+
+    def test_constant_value_raises_for_nonconstant(self):
+        with pytest.raises(ValueError):
+            P("i").constant_value()
+
+    def test_integer_valuedness_of_ranking_like_polynomial(self):
+        # (i^2 + i) / 2 is integer on integers even though coefficients are not
+        p = (P("i") ** 2 + P("i")) / 2
+        assert p.is_integer_valued_on_integers()
+
+    def test_non_integer_valued_detected(self):
+        p = P("i") / 2
+        assert not p.is_integer_valued_on_integers()
+
+
+class TestSubstitutionEvaluation:
+    def test_substitute_polynomial(self):
+        p = P("i") ** 2 + P("j")
+        q = p.substitute({"i": P("a") + 1})
+        assert q == (P("a") + 1) ** 2 + P("j")
+
+    def test_substitute_leaves_missing_variables(self):
+        p = P("i") + P("j")
+        assert p.substitute({"i": Polynomial.constant(0)}) == P("j")
+
+    def test_evaluate_exact(self):
+        p = (P("i") ** 2 + 3 * P("j")) / 2
+        assert p.evaluate({"i": 4, "j": 2}) == Fraction(11)
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            P("i").evaluate({})
+
+    def test_evaluate_partial(self):
+        p = P("i") * P("N") + P("j")
+        assert p.evaluate_partial({"N": 10}) == 10 * P("i") + P("j")
+
+    def test_coefficients_in_groups_by_power(self):
+        p = P("x") ** 2 * P("N") + 3 * P("x") + 7
+        grouped = p.coefficients_in("x")
+        assert grouped[2] == P("N")
+        assert grouped[1] == Polynomial.constant(3)
+        assert grouped[0] == Polynomial.constant(7)
+
+    def test_derivative(self):
+        p = P("x") ** 3 + 2 * P("x") * P("y")
+        assert p.derivative("x") == 3 * P("x") ** 2 + 2 * P("y")
+        assert p.derivative("z").is_zero()
+
+
+class TestPrinting:
+    def test_str_orders_by_degree(self):
+        text = str(P("i") ** 2 + P("i") + 1)
+        assert text.index("i^2") < text.index("+ i") < text.index("1")
+
+    def test_python_source_round_trips(self):
+        p = (2 * P("i") * P("N") + 2 * P("j") - P("i") ** 2 - 3 * P("i")) / 2
+        source = p.to_python_source()
+        value = eval(source, {}, {"i": 3, "N": 10, "j": 5})
+        assert value == p.evaluate({"i": 3, "N": 10, "j": 5})
+
+    def test_c_source_mentions_double_division_for_fractions(self):
+        p = P("i") / 2
+        assert "/ 2" in p.to_c_source()
+
+    def test_zero_sources(self):
+        assert Polynomial.zero().to_python_source() == "0"
+        assert Polynomial.zero().to_c_source() == "0"
+
+
+# ---------------------------------------------------------------------- #
+# property-based tests: ring axioms checked through random evaluation
+# ---------------------------------------------------------------------- #
+variables = st.sampled_from(["i", "j", "k", "N"])
+
+
+@st.composite
+def polynomials(draw, max_terms=4, max_exp=3):
+    terms = {}
+    for _ in range(draw(st.integers(0, max_terms))):
+        monomial = Monomial.from_mapping(
+            draw(st.dictionaries(variables, st.integers(0, max_exp), max_size=3))
+        )
+        coefficient = Fraction(draw(st.integers(-6, 6)), draw(st.integers(1, 4)))
+        terms[monomial] = terms.get(monomial, Fraction(0)) + coefficient
+    return Polynomial(terms)
+
+
+POINT = {"i": Fraction(2), "j": Fraction(-3), "k": Fraction(5), "N": Fraction(7, 2)}
+
+
+@settings(max_examples=60)
+@given(a=polynomials(), b=polynomials())
+def test_property_addition_is_commutative_and_matches_evaluation(a, b):
+    assert a + b == b + a
+    assert (a + b).evaluate(POINT) == a.evaluate(POINT) + b.evaluate(POINT)
+
+
+@settings(max_examples=60)
+@given(a=polynomials(), b=polynomials(), c=polynomials())
+def test_property_multiplication_distributes_over_addition(a, b, c):
+    assert a * (b + c) == a * b + a * c
+
+
+@settings(max_examples=60)
+@given(a=polynomials(), b=polynomials())
+def test_property_multiplication_matches_evaluation(a, b):
+    assert (a * b).evaluate(POINT) == a.evaluate(POINT) * b.evaluate(POINT)
+
+
+@settings(max_examples=40)
+@given(a=polynomials())
+def test_property_subtraction_of_self_is_zero(a):
+    assert (a - a).is_zero()
+
+
+@settings(max_examples=40)
+@given(a=polynomials())
+def test_property_coefficients_in_reconstructs_polynomial(a):
+    """Regrouping by any variable and expanding back is the identity."""
+    regrouped = Polynomial.zero()
+    x = Polynomial.variable("i")
+    for power, coefficient in a.coefficients_in("i").items():
+        regrouped = regrouped + coefficient * x ** power
+    assert regrouped == a
+
+
+@settings(max_examples=40)
+@given(a=polynomials())
+def test_property_substitution_matches_composition(a):
+    """p(i -> i+1) evaluated at i=t equals p evaluated at i=t+1."""
+    shifted = a.substitute({"i": Polynomial.variable("i") + 1})
+    point = dict(POINT)
+    point_shift = dict(POINT)
+    point_shift["i"] = POINT["i"] + 1
+    assert shifted.evaluate(point) == a.evaluate(point_shift)

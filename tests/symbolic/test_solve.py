@@ -1,0 +1,232 @@
+"""Tests for the symbolic root formulas (degrees 1-4)."""
+
+import math
+from fractions import Fraction
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import Polynomial, UnivariatePolynomial, SolveError, solve_univariate_symbolic
+from repro.symbolic.solve import solve_cubic, solve_linear, solve_quadratic, solve_quartic
+
+
+def P(name):
+    return Polynomial.variable(name)
+
+
+def roots_of(coefficients, env=None):
+    """Evaluate the symbolic root candidates of sum c_k x^k numerically.
+
+    Candidates whose branch degenerates for this instantiation (division by a
+    vanishing radical) are skipped — the unranker performs the same
+    validation-based selection.
+    """
+    degree = len(coefficients) - 1
+    solver = {1: solve_linear, 2: solve_quadratic, 3: solve_cubic, 4: solve_quartic}[degree]
+    exprs = solver([Polynomial.constant(c) if isinstance(c, (int, Fraction)) else c for c in coefficients])
+    values = []
+    for expr in exprs:
+        try:
+            values.append(expr.evaluate(env or {}))
+        except ZeroDivisionError:
+            continue
+    return values
+
+
+def assert_roots_match(computed, expected, tol=1e-7):
+    """Each expected root must be approximated by some computed root."""
+    for target in expected:
+        assert any(abs(root - target) < tol for root in computed), (computed, expected)
+
+
+class TestLinear:
+    def test_simple(self):
+        assert_roots_match(roots_of([6, -2]), [3])
+
+    def test_symbolic_coefficients(self):
+        roots = solve_linear([P("b"), P("a")])
+        assert roots[0].evaluate({"a": 2, "b": -10}) == pytest.approx(5)
+
+
+class TestQuadratic:
+    def test_integer_roots(self):
+        # (x-2)(x-5) = x^2 -7x + 10
+        assert_roots_match(roots_of([10, -7, 1]), [2, 5])
+
+    def test_double_root(self):
+        assert_roots_match(roots_of([9, -6, 1]), [3, 3])
+
+    def test_complex_roots(self):
+        # x^2 + 1
+        assert_roots_match(roots_of([1, 0, 1]), [1j, -1j])
+
+    def test_correlation_inversion_formula(self):
+        """The paper's closed form for the correlation outer index (Section II).
+
+        Solving r(x, x+1) - pc = 0 must give
+        i = -(sqrt(4N^2 - 4N - 8pc + 9) - 2N + 1) / 2  as one of the roots.
+        """
+        N, pc = P("N"), P("pc")
+        r = (2 * P("x") * N + 2 * (P("x") + 1) - P("x") ** 2 - 3 * P("x")) / 2 - pc
+        uni = UnivariatePolynomial.from_polynomial(r, "x")
+        roots = solve_univariate_symbolic(uni)
+        n_value = 50
+        for pc_value in (1, 2, 49, 50, 100, 1224, 1225):
+            paper = -(math.sqrt(4 * n_value ** 2 - 4 * n_value - 8 * pc_value + 9) - 2 * n_value + 1) / 2
+            values = [root.evaluate({"N": n_value, "pc": pc_value}) for root in roots]
+            assert any(abs(value.real - paper) < 1e-9 and abs(value.imag) < 1e-9 for value in values)
+
+
+class TestCubic:
+    def test_three_real_integer_roots(self):
+        # (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        assert_roots_match(roots_of([-6, 11, -6, 1]), [1, 2, 3])
+
+    def test_one_real_two_complex(self):
+        # x^3 - 1 has roots 1, w, w^2
+        expected = [1, complex(-0.5, math.sqrt(3) / 2), complex(-0.5, -math.sqrt(3) / 2)]
+        assert_roots_match(roots_of([-1, 0, 0, 1]), expected)
+
+    def test_casus_irreducibilis(self):
+        """Three real roots that *require* complex radicals (the Section IV-C case)."""
+        # x^3 - 7x + 6 = (x-1)(x-2)(x+3)
+        assert_roots_match(roots_of([6, -7, 0, 1]), [1, 2, -3])
+
+    def test_depth3_nest_root_behaviour_at_pc_1(self):
+        """Mirror of the paper's Figure 6/7 observation: at pc=1 the radicand is
+        negative (complex intermediate) but the root value is the real 0."""
+        N, pc = P("N"), P("pc")
+        x = P("x")
+        # r(x, 0, 0) - pc with r from Section IV-C
+        r = (x ** 3 + 3 * x ** 2 + 2 * x + 6) / 6 - pc
+        uni = UnivariatePolynomial.from_polynomial(r, "x")
+        roots = solve_univariate_symbolic(uni)
+        values = [root.evaluate({"pc": 1, "N": 100}) for root in roots]
+        assert any(abs(value) < 1e-9 for value in values)
+
+    def test_symbolic_cubic_with_parameter(self):
+        # x^3 = a  =>  root cbrt(a)
+        roots = solve_cubic([-P("a"), Polynomial.zero(), Polynomial.zero(), Polynomial.constant(1)])
+        values = [root.evaluate({"a": 27}) for root in roots]
+        assert any(abs(value - 3) < 1e-9 for value in values)
+
+
+class TestQuartic:
+    def test_four_integer_roots(self):
+        # (x-1)(x-2)(x-3)(x-4) = x^4 - 10x^3 + 35x^2 - 50x + 24
+        assert_roots_match(roots_of([24, -50, 35, -10, 1]), [1, 2, 3, 4])
+
+    def test_biquadratic(self):
+        # x^4 - 5x^2 + 4 = (x^2-1)(x^2-4)
+        assert_roots_match(roots_of([4, 0, -5, 0, 1]), [1, -1, 2, -2])
+
+    def test_complex_pairs(self):
+        # x^4 + 1: four complex 8th roots of unity
+        expected = [complex(math.cos(a), math.sin(a)) for a in (math.pi / 4, 3 * math.pi / 4, 5 * math.pi / 4, 7 * math.pi / 4)]
+        assert_roots_match(roots_of([1, 0, 0, 0, 1]), expected)
+
+    def test_quartic_ranking_inversion(self):
+        """Invert the ranking polynomial of a 4-deep simplex-like nest.
+
+        for (i=0; i<N; i++) for (j=0; j<=i; j++) for (k=0; k<=j; k++)
+        for (l=0; l<=k; l++)  — the rank of the first iteration of row i is a
+        quartic in i; the symbolic quartic solver must recover i for every pc.
+        """
+        from repro.symbolic.summation import nested_sum
+
+        N = 9
+        x = P("x")
+        # iterations strictly before row i: nested sum over rows 0..i-1
+        before = nested_sum(
+            [
+                ("a", Polynomial.constant(0), x - 1),
+                ("b", Polynomial.constant(0), P("a")),
+                ("c", Polynomial.constant(0), P("b")),
+                ("d", Polynomial.constant(0), P("c")),
+            ]
+        )
+        rank_first_of_row = before + 1
+        equation = rank_first_of_row - P("pc")
+        uni = UnivariatePolynomial.from_polynomial(equation, "x")
+        roots = solve_univariate_symbolic(uni)
+
+        # enumerate the real nest and check that some root recovers i at
+        # the first pc of every row
+        pc = 0
+        first_pc_of_row = {}
+        for i in range(N):
+            for j in range(i + 1):
+                for k in range(j + 1):
+                    for l in range(k + 1):
+                        pc += 1
+                        first_pc_of_row.setdefault(i, pc)
+        for i, pc_value in first_pc_of_row.items():
+            values = [root.evaluate({"pc": pc_value}) for root in roots]
+            assert any(
+                abs(value.imag) < 1e-6 and abs(value.real - i) < 1e-6 for value in values
+            ), (i, pc_value, values)
+
+
+class TestSolveDispatch:
+    def test_degree_zero_raises(self):
+        with pytest.raises(SolveError):
+            solve_univariate_symbolic(UnivariatePolynomial("x", [Polynomial.constant(3)]))
+
+    def test_degree_five_raises(self):
+        uni = UnivariatePolynomial("x", {5: Polynomial.constant(1), 0: Polynomial.constant(-1)})
+        with pytest.raises(SolveError):
+            solve_univariate_symbolic(uni)
+
+    def test_dispatch_returns_enough_candidates(self):
+        # degrees 1-3 return exactly `degree` roots; the quartic returns the
+        # candidates of all three resolvent cube-root branches (see solve_quartic)
+        for degree in (1, 2, 3, 4):
+            coefficients = {degree: Polynomial.constant(1), 0: Polynomial.constant(-1)}
+            roots = solve_univariate_symbolic(UnivariatePolynomial("x", coefficients))
+            assert len(roots) >= degree
+
+
+def _poly_value(coefficients, x):
+    return sum(c * x ** k for k, c in enumerate(coefficients))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    roots=st.lists(st.integers(-6, 6), min_size=2, max_size=2),
+    leading=st.integers(1, 3),
+)
+def test_property_quadratic_from_factored_form(roots, leading):
+    """Expanding (x-r1)(x-r2) and solving recovers the roots."""
+    r1, r2 = roots
+    coefficients = [leading * r1 * r2, -leading * (r1 + r2), leading]
+    computed = roots_of(coefficients)
+    assert_roots_match(computed, [r1, r2])
+
+
+@settings(max_examples=40, deadline=None)
+@given(roots=st.lists(st.integers(-5, 5), min_size=3, max_size=3))
+def test_property_cubic_from_factored_form(roots):
+    r1, r2, r3 = roots
+    coefficients = [
+        -r1 * r2 * r3,
+        r1 * r2 + r1 * r3 + r2 * r3,
+        -(r1 + r2 + r3),
+        1,
+    ]
+    computed = roots_of(coefficients)
+    assert_roots_match(computed, roots, tol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(roots=st.lists(st.integers(-4, 4), min_size=4, max_size=4))
+def test_property_quartic_candidates_cover_all_roots(roots):
+    """Every true root of the quartic appears among Ferrari's candidates."""
+    r1, r2, r3, r4 = roots
+    e1 = r1 + r2 + r3 + r4
+    e2 = r1 * r2 + r1 * r3 + r1 * r4 + r2 * r3 + r2 * r4 + r3 * r4
+    e3 = r1 * r2 * r3 + r1 * r2 * r4 + r1 * r3 * r4 + r2 * r3 * r4
+    e4 = r1 * r2 * r3 * r4
+    coefficients = [e4, -e3, e2, -e1, 1]
+    computed = roots_of(coefficients)
+    assert_roots_match(computed, roots, tol=1e-4)

@@ -1,0 +1,181 @@
+"""Tests for Bernoulli numbers, Faulhaber polynomials and symbolic summation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import (
+    Polynomial,
+    bernoulli_number,
+    faulhaber_polynomial,
+    sum_over_range,
+)
+from repro.symbolic.summation import nested_sum, sum_power_between
+
+
+def P(name):
+    return Polynomial.variable(name)
+
+
+class TestBernoulli:
+    def test_known_values_plus_convention(self):
+        expected = {
+            0: Fraction(1),
+            1: Fraction(1, 2),
+            2: Fraction(1, 6),
+            3: Fraction(0),
+            4: Fraction(-1, 30),
+            5: Fraction(0),
+            6: Fraction(1, 42),
+            8: Fraction(-1, 30),
+            10: Fraction(5, 66),
+        }
+        for n, value in expected.items():
+            assert bernoulli_number(n) == value, n
+
+    def test_odd_bernoulli_numbers_vanish_above_one(self):
+        for n in (3, 5, 7, 9, 11):
+            assert bernoulli_number(n) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli_number(-1)
+
+
+class TestFaulhaber:
+    def test_power_zero(self):
+        assert faulhaber_polynomial(0) == P("n") + 1
+
+    def test_power_one(self):
+        assert faulhaber_polynomial(1) == (P("n") ** 2 + P("n")) / 2
+
+    def test_power_two(self):
+        n = P("n")
+        assert faulhaber_polynomial(2) == (2 * n ** 3 + 3 * n ** 2 + n) / 6
+
+    def test_power_three_is_square_of_power_one(self):
+        assert faulhaber_polynomial(3) == faulhaber_polynomial(1) ** 2
+
+    @pytest.mark.parametrize("power", range(0, 7))
+    @pytest.mark.parametrize("upper", [0, 1, 2, 5, 13])
+    def test_matches_brute_force(self, power, upper):
+        closed = faulhaber_polynomial(power).evaluate({"n": upper})
+        brute = sum(x ** power for x in range(upper + 1))
+        assert closed == brute
+
+    def test_custom_variable_name(self):
+        assert faulhaber_polynomial(1, "m").variables() == {"m"}
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            faulhaber_polynomial(-2)
+
+
+class TestSumPowerBetween:
+    @pytest.mark.parametrize("low,high", [(0, 5), (2, 7), (3, 3), (4, 3)])
+    def test_numeric_ranges(self, low, high):
+        closed = sum_power_between(2, Polynomial.constant(low), Polynomial.constant(high))
+        assert closed.constant_value() == sum(x ** 2 for x in range(low, high + 1))
+
+    def test_empty_range_is_zero(self):
+        # upper == lower - 1 must give exactly zero, the Ehrhart boundary case
+        closed = sum_power_between(3, P("l"), P("l") - 1)
+        assert closed.is_zero()
+
+
+class TestSumOverRange:
+    def test_constant_summand_counts_range(self):
+        count = sum_over_range(Polynomial.constant(1), "x", Polynomial.constant(0), P("n"))
+        assert count == P("n") + 1
+
+    def test_triangular_count(self):
+        # sum_{x=0}^{n} x = n(n+1)/2
+        total = sum_over_range(P("x"), "x", 0, P("n"))
+        assert total == (P("n") ** 2 + P("n")) / 2
+
+    def test_parametric_lower_bound(self):
+        # trip count of  for (j = i+1; j < N; j++)  is N - 1 - i
+        count = sum_over_range(Polynomial.constant(1), "j", P("i") + 1, P("N") - 1)
+        assert count == P("N") - 1 - P("i")
+
+    def test_summand_with_other_variables(self):
+        # sum_{x=0}^{n} (a*x + b) = a*n(n+1)/2 + b*(n+1)
+        total = sum_over_range(P("a") * P("x") + P("b"), "x", 0, P("n"))
+        expected = P("a") * (P("n") ** 2 + P("n")) / 2 + P("b") * (P("n") + 1)
+        assert total == expected
+
+    def test_bound_involving_summation_variable_rejected(self):
+        with pytest.raises(ValueError):
+            sum_over_range(P("x"), "x", 0, P("x"))
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 11])
+    def test_matches_brute_force_quadratic_summand(self, n):
+        summand = 3 * P("x") ** 2 - P("x") + 2
+        closed = sum_over_range(summand, "x", 0, Polynomial.constant(n))
+        brute = sum(3 * x * x - x + 2 for x in range(n + 1))
+        assert closed.constant_value() == brute
+
+
+class TestNestedSum:
+    def test_correlation_trip_count(self):
+        # for (i=0;i<N-1;i++) for (j=i+1;j<N;j++)  ->  (N-1)N/2
+        N = P("N")
+        total = nested_sum([("i", Polynomial.constant(0), N - 2), ("j", P("i") + 1, N - 1)])
+        assert total == (N * (N - 1)) / 2
+
+    def test_tetrahedral_trip_count(self):
+        # Figure 6 of the paper: total = (N^3 - N) / 6
+        N = P("N")
+        total = nested_sum(
+            [
+                ("i", Polynomial.constant(0), N - 2),
+                ("j", Polynomial.constant(0), P("i")),
+                ("k", P("j"), P("i")),
+            ]
+        )
+        assert total == (N ** 3 - N) / 6
+
+    def test_rectangular_trip_count(self):
+        N, M = P("N"), P("M")
+        total = nested_sum([("i", Polynomial.constant(0), N - 1), ("j", Polynomial.constant(0), M - 1)])
+        assert total == N * M
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_matches_brute_force_enumeration(self, n):
+        N = P("N")
+        total = nested_sum(
+            [
+                ("i", Polynomial.constant(0), N - 2),
+                ("j", P("i") + 1, N - 1),
+            ]
+        )
+        brute = sum(1 for i in range(n - 1) for j in range(i + 1, n))
+        assert total.evaluate({"N": n}) == brute
+
+
+@settings(max_examples=50)
+@given(
+    power=st.integers(min_value=0, max_value=5),
+    low=st.integers(min_value=-3, max_value=6),
+    width=st.integers(min_value=0, max_value=12),
+)
+def test_property_faulhaber_difference_equals_brute_force(power, low, width):
+    """sum_over_range agrees with explicit summation on arbitrary integer ranges."""
+    high = low + width
+    closed = sum_over_range(
+        Polynomial.variable("x") ** power, "x", Polynomial.constant(low), Polynomial.constant(high)
+    )
+    assert closed.constant_value() == sum(x ** power for x in range(low, high + 1))
+
+
+@settings(max_examples=50)
+@given(n=st.integers(min_value=0, max_value=9), m=st.integers(min_value=0, max_value=9))
+def test_property_nested_sum_triangular_dependence(n, m):
+    """Trip count of  for(i=0;i<=n) for(j=0;j<=i+m)  matches enumeration."""
+    N, M = Polynomial.variable("N"), Polynomial.variable("M")
+    closed = nested_sum(
+        [("i", Polynomial.constant(0), N), ("j", Polynomial.constant(0), Polynomial.variable("i") + M)]
+    )
+    brute = sum(1 for i in range(n + 1) for j in range(i + m + 1))
+    assert closed.evaluate({"N": n, "M": m}) == brute

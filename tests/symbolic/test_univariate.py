@@ -1,0 +1,141 @@
+"""Tests for the univariate polynomial view used by the inversion step."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.symbolic import Polynomial, UnivariatePolynomial
+
+
+def P(name):
+    return Polynomial.variable(name)
+
+
+def correlation_ranking() -> Polynomial:
+    i, j, N = P("i"), P("j"), P("N")
+    return (2 * i * N + 2 * j - i ** 2 - 3 * i) / 2
+
+
+class TestConstruction:
+    def test_from_polynomial_groups_powers(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        assert uni.degree == 2
+        assert uni.coefficient(2) == Polynomial.constant(Fraction(-1, 2))
+        assert uni.coefficient(1) == P("N") - Fraction(3, 2)
+        assert uni.coefficient(0) == P("j")
+
+    def test_round_trip_to_polynomial(self):
+        poly = correlation_ranking()
+        uni = UnivariatePolynomial.from_polynomial(poly, "i")
+        assert uni.to_polynomial() == poly
+
+    def test_rejects_coefficient_containing_main_var(self):
+        with pytest.raises(ValueError):
+            UnivariatePolynomial("x", {1: P("x")})
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            UnivariatePolynomial("x", {-1: Polynomial.constant(1)})
+
+    def test_scalar_coefficients_accepted(self):
+        uni = UnivariatePolynomial("x", [1, 2, 3])
+        assert uni.degree == 2
+        assert uni.coefficient(1) == Polynomial.constant(2)
+
+    def test_zero_polynomial(self):
+        uni = UnivariatePolynomial("x", {})
+        assert uni.is_zero()
+        assert uni.degree == 0
+
+
+class TestQueries:
+    def test_coefficients_list_is_dense(self):
+        uni = UnivariatePolynomial("x", {0: Polynomial.constant(1), 3: Polynomial.constant(2)})
+        dense = uni.coefficients_list()
+        assert len(dense) == 4
+        assert dense[1].is_zero() and dense[2].is_zero()
+
+    def test_leading_coefficient(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        assert uni.leading_coefficient() == Polynomial.constant(Fraction(-1, 2))
+
+    def test_other_variables(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        assert uni.other_variables() == {"N", "j"}
+
+    def test_derivative(self):
+        uni = UnivariatePolynomial("x", [0, 0, 1])  # x^2
+        derivative = uni.derivative()
+        assert derivative.degree == 1
+        assert derivative.coefficient(1) == Polynomial.constant(2)
+
+
+class TestEvaluation:
+    def test_evaluate_with_assignment(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        # r(i=2, j=4, N=10) = (2*2*10 + 2*4 - 4 - 6)/2 = 19
+        assert uni.evaluate(2, {"N": 10, "j": 4}) == 19
+
+    def test_substitute_coefficients(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        fixed = uni.substitute_coefficients({"N": 10, "j": 4})
+        assert fixed.other_variables() == frozenset()
+        assert fixed.evaluate(2) == 19
+
+    def test_numeric_coefficients(self):
+        uni = UnivariatePolynomial.from_polynomial(correlation_ranking(), "i")
+        coefficients = uni.numeric_coefficients({"N": 10, "j": 4})
+        assert coefficients == [Fraction(4), Fraction(17, 2), Fraction(-1, 2)]
+
+
+class TestBisection:
+    def test_bisect_finds_floor_of_root(self):
+        # p(x) = x^2 - 10: largest integer with p(x) <= 0 is 3
+        uni = UnivariatePolynomial("x", [-10, 0, 1])
+        assert uni.bisect_root(0, 100, {}) == 3
+
+    def test_bisect_on_ranking_polynomial(self):
+        """The bisection unranker recovers the outer index of the correlation nest."""
+        N = 12
+        r = correlation_ranking()
+        # rank at the first iteration of row x: r(x, x+1)
+        first_of_row = r.substitute({"j": P("i") + 1})
+        pc = 0
+        for i in range(N - 1):
+            for j in range(i + 1, N):
+                pc += 1
+                shifted = first_of_row - pc
+                uni = UnivariatePolynomial.from_polynomial(shifted, "i")
+                assert uni.bisect_root(0, N - 2, {"N": N}) == i
+
+    def test_bisect_rejects_empty_bracket(self):
+        uni = UnivariatePolynomial("x", [-10, 0, 1])
+        with pytest.raises(ValueError):
+            uni.bisect_root(5, 4, {})
+
+    def test_bisect_rejects_bracket_without_root(self):
+        uni = UnivariatePolynomial("x", [10, 0, 1])  # always positive
+        with pytest.raises(ValueError):
+            uni.bisect_root(0, 10, {})
+
+
+@settings(max_examples=60)
+@given(
+    coefficients=st.lists(st.integers(-9, 9), min_size=1, max_size=5),
+    x=st.integers(-6, 6),
+)
+def test_property_univariate_evaluation_matches_horner(coefficients, x):
+    uni = UnivariatePolynomial("x", [Polynomial.constant(c) for c in coefficients])
+    expected = sum(c * x ** k for k, c in enumerate(coefficients))
+    assert uni.evaluate(x) == expected
+
+
+@settings(max_examples=40)
+@given(target=st.integers(min_value=0, max_value=400))
+def test_property_bisection_inverts_monotone_quadratic(target):
+    """bisect_root is the exact integer inverse of a monotone quadratic."""
+    # p(x) = x^2 + x - target, increasing on x >= 0
+    uni = UnivariatePolynomial("x", [-target, 1, 1])
+    root = uni.bisect_root(0, target + 1, {})
+    assert root * root + root <= target < (root + 1) ** 2 + root + 1

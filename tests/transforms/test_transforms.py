@@ -1,0 +1,145 @@
+"""Tests for the Pluto-lite transformations (skewing and tiling)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import collapse
+from repro.ir import ArrayAccess, Loop, LoopNest, Statement, enumerate_iterations
+from repro.openmp import CostModel
+from repro.transforms import skew, tile_triangular
+from repro.transforms.tiling import TILE_COUNT_PARAMETER
+
+
+def rectangular_stencil_nest():
+    return LoopNest(
+        [Loop.make("t", 0, "T"), Loop.make("x", 1, "N - 1")],
+        statements=[
+            Statement(
+                "stencil",
+                (ArrayAccess.write("A", "t", "x"), ArrayAccess.read("A", "t", "x - 1")),
+            )
+        ],
+        parameters=["T", "N"],
+        name="stencil",
+    )
+
+
+def correlation_pair():
+    return LoopNest(
+        [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")],
+        parameters=["N"],
+        name="correlation_pair",
+    )
+
+
+class TestSkew:
+    def test_skewed_bounds_slide_with_outer_iterator(self):
+        skewed = skew(rectangular_stencil_nest(), target="x", source="t", factor=2)
+        assert str(skewed.loop("x").lower) in ("2*t + 1", "1 + 2*t")
+        assert skewed.loop("x").lower.coefficient("t") == 2
+        assert skewed.loop("x").upper.coefficient("t") == 2
+
+    def test_skewing_preserves_the_iteration_multiset(self):
+        nest = rectangular_stencil_nest()
+        skewed = skew(nest, "x", "t", 1)
+        values = {"T": 5, "N": 8}
+        original = [(t, x) for t, x in enumerate_iterations(nest, values)]
+        recovered = [(t, x - t) for t, x in enumerate_iterations(skewed, values)]
+        assert recovered == original
+
+    def test_accesses_are_rewritten(self):
+        skewed = skew(rectangular_stencil_nest(), "x", "t", 3)
+        write = skewed.statements[0].writes()[0]
+        # A[t][x] becomes A[t][x - 3t]
+        assert write.subscripts[1].coefficient("t") == -3
+
+    def test_zero_factor_is_identity(self):
+        nest = rectangular_stencil_nest()
+        assert skew(nest, "x", "t", 0) is nest
+
+    def test_skewed_nest_is_collapsible(self):
+        skewed = skew(rectangular_stencil_nest(), "x", "t", 1)
+        collapsed = collapse(skewed, 2)
+        assert collapsed.validate({"T": 5, "N": 7})
+
+    def test_invalid_source_position(self):
+        with pytest.raises(ValueError):
+            skew(rectangular_stencil_nest(), target="t", source="x", factor=1)
+
+    def test_unknown_iterator(self):
+        with pytest.raises(ValueError):
+            skew(rectangular_stencil_nest(), "z", "t", 1)
+
+    def test_name_suffix(self):
+        assert skew(rectangular_stencil_nest(), "x", "t", 1).name == "stencil_skewed"
+
+
+class TestTileTriangular:
+    def test_tile_nest_shape(self):
+        tiled = tile_triangular(correlation_pair(), tile_size=8)
+        assert tiled.tile_nest.iterators == ("it", "jt")
+        assert tiled.tile_nest.parameters == (TILE_COUNT_PARAMETER,)
+        assert str(tiled.tile_nest.loop("jt").lower) == "it"
+
+    def test_tile_parameters(self):
+        tiled = tile_triangular(correlation_pair(), tile_size=8)
+        assert tiled.tile_parameters({"N": 64}) == {TILE_COUNT_PARAMETER: 8}
+        assert tiled.tile_parameters({"N": 65}) == {TILE_COUNT_PARAMETER: 9}
+
+    def test_total_work_is_preserved(self):
+        """Summing the per-tile point counts over all tiles must give the
+        exact number of points of the original triangular domain."""
+        nest = correlation_pair()
+        tiled = tile_triangular(nest, tile_size=7)
+        for n in (20, 33, 50):
+            assert tiled.total_work({"N": n}) == n * (n - 1) / 2
+
+    def test_boundary_tiles_are_partial(self):
+        tiled = tile_triangular(correlation_pair(), tile_size=8)
+        values = {"N": 20}
+        # diagonal tile (0, 0) is half-full, interior tile (0, 1) is full
+        assert tiled.tile_work(0, 0, values) < 64
+        assert tiled.tile_work(0, 1, values) == 64
+
+    def test_point_work_weighting(self):
+        tiled = tile_triangular(correlation_pair(), tile_size=8, point_work=lambda i, j, v: 2.0)
+        plain = tile_triangular(correlation_pair(), tile_size=8)
+        values = {"N": 24}
+        assert tiled.tile_work(0, 1, values) == 2 * plain.tile_work(0, 1, values)
+
+    def test_tile_nest_is_collapsible(self):
+        tiled = tile_triangular(correlation_pair(), tile_size=8)
+        collapsed = collapse(tiled.tile_nest, 2)
+        assert collapsed.validate({TILE_COUNT_PARAMETER: 6})
+
+    def test_rejects_non_triangular_patterns(self):
+        lower_triangle = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", 0, "i + 1")], parameters=["N"], name="lower"
+        )
+        with pytest.raises(ValueError):
+            tile_triangular(lower_triangle, 8)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            tile_triangular(correlation_pair(), 0)
+
+    def test_rejects_single_loop(self):
+        nest = LoopNest([Loop.make("i", 0, "N")], parameters=["N"], name="one")
+        with pytest.raises(ValueError):
+            tile_triangular(nest, 4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=40), tile=st.integers(min_value=1, max_value=9))
+def test_property_tiling_conserves_point_count(n, tile):
+    tiled = tile_triangular(correlation_pair(), tile_size=tile)
+    assert tiled.total_work({"N": n}) == n * (n - 1) / 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(factor=st.integers(min_value=0, max_value=3), t=st.integers(min_value=1, max_value=6), n=st.integers(min_value=3, max_value=9))
+def test_property_skew_preserves_iteration_count(factor, t, n):
+    nest = rectangular_stencil_nest()
+    skewed = skew(nest, "x", "t", factor)
+    values = {"T": t, "N": n}
+    assert len(list(enumerate_iterations(skewed, values))) == len(list(enumerate_iterations(nest, values)))
