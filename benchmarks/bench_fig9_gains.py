@@ -10,7 +10,7 @@ configurations the paper measures —
 
 and prints one row per program with both gains, exactly the quantities of
 the blue and red bars of Fig. 9.  The shape assertions encode the paper's
-qualitative findings (see EXPERIMENTS.md for the per-program discussion).
+qualitative findings (the per-program discussion lives in the docstrings below).
 """
 
 from __future__ import annotations
@@ -25,7 +25,7 @@ from repro.kernels import TILED_KERNELS, all_kernels
 from repro.openmp import ScheduleKind, simulate_collapsed_static, simulate_outer_parallel
 
 #: programs excluded from the "collapsing wins over static" assertion, with
-#: the reason documented in EXPERIMENTS.md
+#: the reason documented in the module docstring
 _NOT_EXPECTED_TO_GAIN_VS_STATIC = {"lu_update"}
 #: programs where the paper itself reports that dynamic scheduling wins
 _DYNAMIC_EXPECTED_TO_WIN = {"ltmp"}
@@ -95,7 +95,7 @@ def test_figure9_gains(benchmark, paper_scale):
     )
     print("\n" + table)
 
-    # --- shape assertions (see EXPERIMENTS.md) -------------------------- #
+    # --- shape assertions (the shapes the paper's Fig. 9 exhibits) ------ #
     for name, row in rows.items():
         if name in _NOT_EXPECTED_TO_GAIN_VS_STATIC:
             continue

@@ -5,7 +5,7 @@ Python threads cannot show the paper's gains (GIL), so this benchmark uses
 ``utma`` loop and performing the triangular matrix addition row-fragment by
 row-fragment.  It is a sanity check that the collapsed static partition is
 load-balanced in real time too, not a faithful re-run of the paper's OpenMP
-measurements (see DESIGN.md for the substitution rationale).
+measurements (see README.md for the substitution rationale).
 """
 
 from __future__ import annotations

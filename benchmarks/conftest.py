@@ -2,8 +2,9 @@
 
 Every benchmark module regenerates one table or figure of the paper: it
 computes the same rows/series the paper reports, prints them (run pytest
-with ``-s`` to see the tables), asserts the *shape* documented in
-EXPERIMENTS.md, and times the computation through pytest-benchmark.
+with ``-s`` to see the tables), asserts the qualitative *shape* the paper
+reports (documented per module), and times it through pytest-benchmark.
+The benchmark-to-figure mapping lives in the README.
 
 The problem sizes default to the kernels' ``bench_parameters`` so the whole
 harness completes in a couple of minutes; pass ``--paper-scale`` to use the

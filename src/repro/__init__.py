@@ -13,7 +13,9 @@ The package is organised bottom-up:
   polyhedral dependence tests and the iteration odometer.
 * :mod:`repro.core` — the paper's contribution: ranking polynomials, their
   symbolic inversion (unranking), the collapse transformation, recovery
-  strategies, Python/C code generation and the vector/GPU schemes.
+  strategies (including the compiled batch fast path of
+  :mod:`repro.core.batch`), Python/C code generation and the vector/GPU
+  schemes.
 * :mod:`repro.openmp` — OpenMP-style schedules, cost models, a deterministic
   simulated-time executor and a multiprocessing executor.
 * :mod:`repro.kernels` — the evaluation kernels (Polybench-derived + utma,
@@ -40,9 +42,11 @@ Quick start::
 """
 
 from .core import (
+    BatchRecovery,
     CollapsedLoop,
     CollapseError,
     RecoveryStrategy,
+    batch_recovery,
     collapse,
     compile_collapsed_loop,
     generate_openmp_chunked,
@@ -56,9 +60,11 @@ from .symbolic import Polynomial
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchRecovery",
     "CollapsedLoop",
     "CollapseError",
     "RecoveryStrategy",
+    "batch_recovery",
     "collapse",
     "compile_collapsed_loop",
     "generate_openmp_chunked",

@@ -5,14 +5,20 @@ Implements the quantities the paper reports:
 * the per-thread iteration distribution of Fig. 2 and generic load-balance
   metrics (:mod:`repro.analysis.loadbalance`),
 * the gain formula of Section VII (:mod:`repro.analysis.gains`),
-* the serial control-overhead of Fig. 10 (:mod:`repro.analysis.overhead`),
+* the serial control-overhead of Fig. 10, simulated and measured
+  (:mod:`repro.analysis.overhead`),
 * plain-text table rendering used by the benchmark harness
   (:mod:`repro.analysis.reporting`).
 """
 
 from .loadbalance import LoadBalanceReport, iteration_distribution, load_balance_report
 from .gains import GainRow, gain, gain_table
-from .overhead import OverheadRow, recovery_overhead
+from .overhead import (
+    MeasuredRecovery,
+    OverheadRow,
+    measure_recovery_throughput,
+    recovery_overhead,
+)
 from .reporting import format_table
 
 __all__ = [
@@ -22,7 +28,9 @@ __all__ = [
     "GainRow",
     "gain",
     "gain_table",
+    "MeasuredRecovery",
     "OverheadRow",
+    "measure_recovery_throughput",
     "recovery_overhead",
     "format_table",
 ]

@@ -22,10 +22,11 @@ the paper observes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
-from ..core import CollapsedLoop
+from ..core import CollapsedLoop, batch_recovery, resolve_recovery_backend
 from ..ir import iteration_count
 from ..openmp.costmodel import CostModel, RecoveryCosts
 
@@ -75,4 +76,67 @@ def recovery_overhead(
         serial_original=serial_original,
         serial_transformed=serial_transformed,
         recoveries=recoveries,
+    )
+
+
+@dataclass(frozen=True)
+class MeasuredRecovery:
+    """Wall-clock throughput of one recovery back end over a collapsed loop.
+
+    Where :func:`recovery_overhead` reports the paper's *simulated* Fig. 10
+    quantity, this row reports what the Python reproduction actually pays to
+    recover indices — the cost the compiled batch path exists to remove.
+    """
+
+    program: str
+    recovery: str          # "symbolic" (per-pc closed forms) or "compiled" (batch)
+    iterations: int
+    elapsed_seconds: float
+
+    @property
+    def iterations_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.iterations / self.elapsed_seconds
+
+
+def measure_recovery_throughput(
+    collapsed: CollapsedLoop,
+    parameter_values: Mapping[str, int],
+    recovery: str = "compiled",
+    repeat: int = 1,
+) -> MeasuredRecovery:
+    """Time the recovery of *every* index of the collapsed loop.
+
+    ``recovery="symbolic"`` evaluates the closed-form roots once per ``pc``
+    (the Fig. 3 cost the overhead experiment is about); ``"compiled"`` runs
+    the vectorized batch path of :mod:`repro.core.batch` over the whole
+    range.  The best of ``repeat`` runs is reported.  Both back ends produce
+    identical indices, so the ratio of two measurements is a pure recovery
+    speedup.
+    """
+    resolve_recovery_backend(recovery)
+    total = collapsed.total_iterations(parameter_values)
+    if recovery == "compiled":
+        recoverer = batch_recovery(collapsed)
+
+        def run() -> None:
+            recoverer.recover_range(1, total, parameter_values)
+
+    else:
+
+        def run() -> None:
+            for pc in range(1, total + 1):
+                collapsed.recover_indices(pc, parameter_values)
+
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return MeasuredRecovery(
+        program=collapsed.nest.name,
+        recovery=recovery,
+        iterations=total,
+        elapsed_seconds=best,
     )

@@ -7,6 +7,9 @@
 * :mod:`repro.core.collapse` — the end-to-end collapse transformation,
 * :mod:`repro.core.recovery` — index-recovery strategies, including the
   reduced-overhead once-per-chunk scheme (Section V),
+* :mod:`repro.core.batch` — the compiled batch fast path: closed-form roots
+  compiled to NumPy straight-line code recover whole ``pc`` ranges in
+  O(levels) vectorized operations,
 * :mod:`repro.core.codegen_python` / :mod:`repro.core.codegen_c` — executable
   Python code generation and Figure 3/4/7-style OpenMP C text,
 * :mod:`repro.core.vectorize` / :mod:`repro.core.gpu` — the vectorisation and
@@ -15,8 +18,29 @@
 
 from .ranking import RankingPolynomial, ranking_polynomial
 from .unranking import IndexRecovery, UnrankingFunction, build_unranking, UnrankingError
-from .collapse import CollapseError, CollapsedLoop, collapse
-from .recovery import RecoveryStrategy, RecoveryStats, iterate_chunk, recover_range
+from .collapse import (
+    CollapseError,
+    CollapsedLoop,
+    collapse,
+    clear_collapse_cache,
+    collapse_cache_info,
+)
+from .recovery import (
+    RECOVERY_BACKENDS,
+    RecoveryStrategy,
+    RecoveryStats,
+    chunk_iterator_factory,
+    iterate_chunk,
+    recover_range,
+    resolve_recovery_backend,
+)
+from .batch import (
+    BatchRecovery,
+    BatchRecoveryError,
+    BatchStats,
+    batch_recovery,
+    clear_batch_cache,
+)
 from .codegen_python import generate_python_source, compile_collapsed_loop
 from .codegen_c import generate_openmp_collapsed, generate_openmp_chunked
 from .vectorize import VectorizedExecution, vectorize_collapsed
@@ -33,10 +57,20 @@ __all__ = [
     "CollapseError",
     "CollapsedLoop",
     "collapse",
+    "clear_collapse_cache",
+    "collapse_cache_info",
+    "RECOVERY_BACKENDS",
     "RecoveryStrategy",
     "RecoveryStats",
+    "chunk_iterator_factory",
     "iterate_chunk",
     "recover_range",
+    "resolve_recovery_backend",
+    "BatchRecovery",
+    "BatchRecoveryError",
+    "BatchStats",
+    "batch_recovery",
+    "clear_batch_cache",
     "generate_python_source",
     "compile_collapsed_loop",
     "generate_openmp_collapsed",

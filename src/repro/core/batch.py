@@ -1,0 +1,346 @@
+"""Batch (compiled, vectorized) index recovery — the fast path of unranking.
+
+The scalar path of :mod:`repro.core.unranking` recovers the indices of one
+``pc`` at a time by walking the symbolic root expressions.  Every executor
+and every benchmark sits on top of that loop, so its per-iteration Python
+cost *is* the recovery overhead the paper measures (Fig. 10).  This module
+removes it the way vectorized closed-form inversion does in numeric
+packages: the root of each level is compiled once into straight-line NumPy
+code (:mod:`repro.symbolic.compile`) and evaluated for a whole chunk of
+``pc`` values per call, so a range of iterations is recovered in O(levels)
+vectorized operations instead of O(iterations) tree walks.
+
+Correctness is preserved by a *vectorized guarded floor*: after flooring the
+(complex) closed-form root element-wise, the exact bracket property
+
+    r(i1..ik, lexmins) <= pc < r(i1..i_{k-1}, ik + 1, lexmins)
+
+is checked for all elements at once in float arithmetic that is provably
+exact for the magnitudes involved (bracket values are integers, compared
+through ``rint`` and rejected when too large or too far from an integer for
+float64 to be trusted).  The rare elements that fail the check — floats that
+landed on the wrong side of an integer boundary, degenerate root branches,
+levels outside the degree-4 closed-form scope — are re-recovered one by one
+through the scalar exact machinery, so the batch result is element-wise
+identical to :meth:`CollapsedLoop.recover_indices`.
+
+A module-level memo cache hands out one :class:`BatchRecovery` per collapsed
+loop; combined with the ``collapse()`` memo cache, repeated collapses of an
+identical nest reuse both the ranking polynomial and the compiled
+recoveries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..polyhedra import AffineExpr
+from ..symbolic.compile import CompiledExpr, CompiledPolynomial, compile_expr, compile_polynomial
+from .collapse import CollapsedLoop
+from .unranking import IndexRecovery
+
+try:  # pragma: no cover - exercised implicitly by every test below
+    import numpy as np
+except ImportError:  # pragma: no cover - the container bakes numpy in
+    np = None
+
+#: Above this magnitude a float64 polynomial evaluation is no longer trusted
+#: to be within 1/4 of the true integer bracket value; such elements take the
+#: exact scalar path.  2**45 leaves ~8 bits of mantissa headroom for the
+#: rounding error of a straight-line evaluation with a few dozen operations.
+_TRUST_LIMIT = float(2**45)
+
+#: Tolerance added before flooring the real part of a root (same value as the
+#: scalar unranker); the guarded bracket check corrects any residual error.
+_FLOOR_EPSILON = 1e-9
+
+
+class BatchRecoveryError(ValueError):
+    """Raised for missing NumPy or out-of-range ``pc`` values."""
+
+
+@dataclass
+class BatchStats:
+    """Counters describing how a batch recovery was executed."""
+
+    iterations: int = 0        #: total elements recovered
+    vector_levels: int = 0     #: levels recovered through compiled closed forms
+    bisection_levels: int = 0  #: levels recovered through vectorized bisection
+    exact_fixes: int = 0       #: elements re-recovered by the exact scalar path
+
+    def merge(self, other: "BatchStats") -> "BatchStats":
+        return BatchStats(
+            iterations=self.iterations + other.iterations,
+            vector_levels=self.vector_levels + other.vector_levels,
+            bisection_levels=self.bisection_levels + other.bisection_levels,
+            exact_fixes=self.exact_fixes + other.exact_fixes,
+        )
+
+
+@dataclass(frozen=True)
+class _LevelPlan:
+    """Everything pre-compiled for recovering one index level in batch."""
+
+    recovery: IndexRecovery
+    root: Optional[CompiledExpr]          # numpy-mode closed form (None => bisection)
+    bracket: CompiledPolynomial           # numpy-mode bracket polynomial
+    integer_bounds: bool                  # bounds evaluable exactly in int64
+
+
+def _has_integer_coefficients(expr: AffineExpr) -> bool:
+    if expr.constant.denominator != 1:
+        return False
+    return all(coeff.denominator == 1 for _var, coeff in expr.coefficients)
+
+
+def _affine_int(expr: AffineExpr, env: Mapping[str, object]):
+    """Exact int64 evaluation of an affine bound with integer coefficients."""
+    total = int(expr.constant)
+    for var, coeff in expr.coefficients:
+        total = total + int(coeff) * env[var]
+    return total
+
+
+def _affine_ceil_exact(expr: AffineExpr, env: Mapping[str, object], size: int):
+    """Per-element ``ceil`` of a rational affine bound (rare fractional case)."""
+    out = np.empty(size, dtype=np.int64)
+    names = [var for var, _coeff in expr.coefficients]
+    for position in range(size):
+        point = {name: int(np.asarray(env[name]).reshape(-1)[position] if np.ndim(env[name]) else env[name]) for name in names}
+        out[position] = math.ceil(expr.evaluate(point))
+    return out
+
+
+class BatchRecovery:
+    """Vectorized index recovery over a :class:`CollapsedLoop`.
+
+    One instance compiles the closed-form roots and bracket polynomials of
+    every collapsed level into NumPy straight-line code (done once, at
+    construction) and then recovers arbitrary ``pc`` ranges as ``(n, depth)``
+    ``int64`` arrays.  Use :func:`batch_recovery` to get the memoised
+    instance of a collapsed loop instead of constructing one per call site.
+
+    The batch path always applies the exact bracket guard (vectorized, with
+    scalar exact fixes for the suspects), so it is element-wise identical to
+    the default *guarded* scalar recovery regardless of the ``guard`` flag
+    the collapsed loop was built with.
+    """
+
+    def __init__(self, collapsed: CollapsedLoop):
+        if np is None:
+            raise BatchRecoveryError("BatchRecovery requires NumPy, which is not installed")
+        self.collapsed = collapsed
+        # suspects are always re-recovered through the *guarded* scalar path,
+        # even when the collapsed loop was built with guard=False — that is
+        # what makes the batch result exact
+        unranking = collapsed.unranking
+        self._exact = (
+            unranking if unranking.guard else dataclasses.replace(unranking, guard=True)
+        )
+        self._pc_name = collapsed.pc_name
+        self._plans: List[_LevelPlan] = []
+        for recovery in self._exact.recoveries:
+            root = None
+            if recovery.method != "bisection" and recovery.expression is not None:
+                root = compile_expr(recovery.expression, mode="numpy")
+            bracket = compile_polynomial(recovery.bracket, mode="numpy")
+            integer_bounds = _has_integer_coefficients(recovery.lower) and _has_integer_coefficients(
+                recovery.upper
+            )
+            self._plans.append(
+                _LevelPlan(recovery=recovery, root=root, bracket=bracket, integer_bounds=integer_bounds)
+            )
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        return self.collapsed.depth
+
+    def uses_only_closed_forms(self) -> bool:
+        """True when no level needs the vectorized-bisection fallback."""
+        return all(plan.root is not None for plan in self._plans)
+
+    def recover_range(
+        self,
+        first_pc: int,
+        last_pc: int,
+        parameter_values: Mapping[str, int],
+        stats: Optional[BatchStats] = None,
+    ):
+        """Indices of the collapsed iterations ``first_pc..last_pc`` (inclusive).
+
+        Returns an ``(n, depth)`` ``int64`` array whose row ``k`` equals
+        ``recover_indices(first_pc + k, parameter_values)``.
+        """
+        if last_pc < first_pc:
+            return np.empty((0, self.depth), dtype=np.int64)
+        return self.recover_pcs(
+            np.arange(first_pc, last_pc + 1, dtype=np.int64), parameter_values, stats
+        )
+
+    def recover_pcs(
+        self,
+        pcs,
+        parameter_values: Mapping[str, int],
+        stats: Optional[BatchStats] = None,
+    ):
+        """Indices of arbitrary collapsed iterations ``pcs`` (1-based ranks)."""
+        pcs = np.asarray(pcs, dtype=np.int64)
+        if pcs.ndim != 1:
+            raise BatchRecoveryError(f"pcs must be one-dimensional, got shape {pcs.shape}")
+        stats = stats if stats is not None else BatchStats()
+        if pcs.size == 0:
+            return np.empty((0, self.depth), dtype=np.int64)
+
+        total = self.collapsed.total_iterations(parameter_values)
+        lowest, highest = int(pcs.min()), int(pcs.max())
+        if lowest < 1 or highest > total:
+            raise BatchRecoveryError(
+                f"pc values must lie in [1, {total}] for {dict(parameter_values)}; "
+                f"got range [{lowest}, {highest}]"
+            )
+
+        environment: Dict[str, object] = {
+            name: int(value) for name, value in parameter_values.items()
+        }
+        pcs_f = pcs.astype(np.float64)
+        columns: List[object] = []
+        for plan in self._plans:
+            column = self._recover_level(plan, pcs, pcs_f, environment, stats)
+            environment[plan.recovery.iterator] = column
+            columns.append(column)
+        stats.iterations += int(pcs.size)
+        return np.stack(columns, axis=1)
+
+    def iterate(
+        self,
+        first_pc: int,
+        last_pc: int,
+        parameter_values: Mapping[str, int],
+        stats: Optional[BatchStats] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """Yield the recovered tuples, as a drop-in for ``iterate_chunk``."""
+        recovered = self.recover_range(first_pc, last_pc, parameter_values, stats)
+        for row in recovered.tolist():
+            yield tuple(row)
+
+    # ------------------------------------------------------------------ #
+    # per-level machinery
+    # ------------------------------------------------------------------ #
+    def _bounds(self, plan: _LevelPlan, environment: Mapping[str, object], size: int):
+        """Vectorized inclusive index range ``[lower, upper]`` of one level."""
+        if plan.integer_bounds:
+            lower = _affine_int(plan.recovery.lower, environment)
+            upper = _affine_int(plan.recovery.upper, environment) - 1
+        else:
+            lower = _affine_ceil_exact(plan.recovery.lower, environment, size)
+            upper = _affine_ceil_exact(plan.recovery.upper, environment, size) - 1
+        return (
+            np.broadcast_to(np.asarray(lower, dtype=np.int64), (size,)),
+            np.broadcast_to(np.asarray(upper, dtype=np.int64), (size,)),
+        )
+
+    def _bracket_at(self, plan: _LevelPlan, environment: Mapping[str, object], values):
+        assignment = dict(environment)
+        assignment[plan.recovery.iterator] = values
+        return np.asarray(plan.bracket.evaluate(assignment), dtype=np.float64)
+
+    def _recover_level(self, plan, pcs, pcs_f, environment, stats):
+        size = pcs.size
+        lower, upper = self._bounds(plan, environment, size)
+
+        if plan.root is not None:
+            stats.vector_levels += 1
+            assignment = dict(environment)
+            assignment[self._pc_name] = pcs
+            with np.errstate(all="ignore"):
+                raw = np.real(plan.root.evaluate(assignment))
+            finite = np.isfinite(raw)
+            floored = np.floor(np.where(finite, raw, 0.0) + _FLOOR_EPSILON)
+            value = np.clip(floored, lower, upper).astype(np.int64)
+            trusted = finite
+        else:
+            stats.bisection_levels += 1
+            value = self._vector_bisect(plan, pcs_f, environment, lower, upper)
+            trusted = np.ones(size, dtype=bool)
+
+        # ---- vectorized guarded floor ------------------------------------ #
+        below = self._bracket_at(plan, environment, value)
+        above = self._bracket_at(plan, environment, value + 1)
+        below_r = np.rint(below)
+        above_r = np.rint(above)
+        at_top = value >= upper
+        ok = trusted & (value >= lower)
+        ok &= (below_r <= pcs_f) & (at_top | (above_r > pcs_f))
+        # only trust float brackets that are unambiguously integers
+        ok &= (np.abs(below - below_r) < 0.25) & (np.abs(below) < _TRUST_LIMIT)
+        ok &= at_top | ((np.abs(above - above_r) < 0.25) & (np.abs(above) < _TRUST_LIMIT))
+
+        suspects = np.nonzero(~ok)[0]
+        if suspects.size:
+            stats.exact_fixes += int(suspects.size)
+            value = value.copy()
+            for position in map(int, suspects):
+                point = {
+                    name: int(np.asarray(vals).reshape(-1)[position]) if np.ndim(vals) else int(vals)
+                    for name, vals in environment.items()
+                }
+                value[position] = self._exact._recover_level(
+                    plan.recovery, int(pcs[position]), point
+                )
+        return value
+
+    def _vector_bisect(self, plan, pcs_f, environment, lower, upper):
+        """Vectorized largest-x-with-``r(x) <= pc`` search (degree > 4 levels).
+
+        Runs on float brackets; any element the float comparison got wrong is
+        caught by the guarded check in :meth:`_recover_level` and re-done
+        exactly, mirroring the scalar bisection fallback.
+        """
+        lo = lower.copy()
+        hi = np.maximum(upper, lo)
+        while True:
+            active = lo < hi
+            if not bool(active.any()):
+                break
+            mid = (lo + hi + 1) // 2
+            take = np.rint(self._bracket_at(plan, environment, mid)) <= pcs_f
+            lo = np.where(active & take, mid, lo)
+            hi = np.where(active & ~take, mid - 1, hi)
+        return lo
+
+
+# ---------------------------------------------------------------------- #
+# memo cache
+# ---------------------------------------------------------------------- #
+# keyed by id() — cheap O(1) lookups instead of hashing the whole symbolic
+# structure on every call.  Safe because each entry pins its CollapsedLoop
+# (the value holds a reference), so an id is never reused while cached.
+_BATCH_CACHE: Dict[int, BatchRecovery] = {}
+_BATCH_CACHE_LIMIT = 128
+
+
+def batch_recovery(collapsed: CollapsedLoop) -> BatchRecovery:
+    """The memoised :class:`BatchRecovery` of ``collapsed``.
+
+    Compilation happens once per distinct collapsed-loop object; together
+    with the ``collapse()`` memo cache (which hands out one object per
+    identical nest) this makes ``batch_recovery(collapse(nest))``
+    essentially free after the first call for an identical nest.
+    """
+    cached = _BATCH_CACHE.get(id(collapsed))
+    if cached is None:
+        if len(_BATCH_CACHE) >= _BATCH_CACHE_LIMIT:
+            _BATCH_CACHE.pop(next(iter(_BATCH_CACHE)))
+        cached = _BATCH_CACHE[id(collapsed)] = BatchRecovery(collapsed)
+    return cached
+
+
+def clear_batch_cache() -> None:
+    """Drop every memoised :class:`BatchRecovery` (mainly for tests)."""
+    _BATCH_CACHE.clear()

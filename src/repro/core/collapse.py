@@ -20,7 +20,7 @@ the loop body.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..ir import LoopNest, enumerate_iterations, may_carry_dependence
 from ..symbolic import Polynomial
@@ -100,6 +100,53 @@ class CollapsedLoop:
         return "\n".join(lines)
 
 
+# ---------------------------------------------------------------------- #
+# memo cache
+# ---------------------------------------------------------------------- #
+# Building a CollapsedLoop is expensive (Faulhaber summation, symbolic root
+# solving, sample-domain root selection), yet kernels, executors and
+# benchmarks repeatedly collapse the *same* nest.  The cache is keyed by the
+# structural identity of the nest plus every argument that influences the
+# construction, so a hit returns the exact object an uncached call would
+# have produced — and, through repro.core.batch's own memo, its compiled
+# recoveries too.
+_COLLAPSE_CACHE: Dict[tuple, CollapsedLoop] = {}
+_COLLAPSE_CACHE_LIMIT = 256
+
+
+def _collapse_cache_key(
+    nest: LoopNest,
+    depth: int,
+    check_dependences: bool,
+    sample_parameters: Optional[Mapping[str, int]],
+    pc_name: str,
+    guard: bool,
+    allow_bisection_fallback: bool,
+) -> tuple:
+    return (
+        nest.name,
+        tuple((loop.iterator, loop.lower, loop.upper, loop.parallel) for loop in nest.loops),
+        nest.statements,
+        nest.parameters,
+        depth,
+        check_dependences,
+        tuple(sorted(sample_parameters.items())) if sample_parameters is not None else None,
+        pc_name,
+        guard,
+        allow_bisection_fallback,
+    )
+
+
+def clear_collapse_cache() -> None:
+    """Drop every memoised :class:`CollapsedLoop` (mainly for tests)."""
+    _COLLAPSE_CACHE.clear()
+
+
+def collapse_cache_info() -> Dict[str, int]:
+    """Size of the ``collapse()`` memo cache, for introspection and tests."""
+    return {"entries": len(_COLLAPSE_CACHE), "limit": _COLLAPSE_CACHE_LIMIT}
+
+
 def collapse(
     nest: LoopNest,
     depth: Optional[int] = None,
@@ -109,6 +156,7 @@ def collapse(
     pc_name: str = "pc",
     guard: bool = True,
     allow_bisection_fallback: bool = True,
+    use_cache: bool = True,
 ) -> CollapsedLoop:
     """Collapse the ``depth`` outermost loops of ``nest`` into a single loop.
 
@@ -128,14 +176,28 @@ def collapse(
         Concrete sizes used to select/validate the convenient symbolic roots.
     guard:
         Enable the exact-arithmetic bracket guard around the floating-point
-        floor (recommended; see DESIGN.md).
+        floor (recommended; see docs/recovery.md).
     allow_bisection_fallback:
         Allow levels whose inversion is outside the paper's degree-4 limit to
         fall back to exact bisection instead of failing.
+    use_cache:
+        Reuse the memoised result of a previous identical ``collapse()``
+        (same bounds, statements, parameters and options).  The cache is what
+        lets hot paths call ``collapse`` freely; pass ``False`` to force a
+        fresh construction.
     """
     depth = nest.depth if depth is None else depth
     if not 1 <= depth <= nest.depth:
         raise CollapseError(f"collapse depth must be in 1..{nest.depth}, got {depth}")
+    cache_key: Optional[tuple] = None
+    if use_cache:
+        cache_key = _collapse_cache_key(
+            nest, depth, check_dependences, sample_parameters, pc_name, guard,
+            allow_bisection_fallback,
+        )
+        cached = _COLLAPSE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
     if depth == 1:
         # collapsing one loop is the identity transformation, but it is still
         # useful to expose it uniformly (rank == pc == i1 - lower + 1)
@@ -153,4 +215,11 @@ def collapse(
         guard=guard,
         allow_bisection_fallback=allow_bisection_fallback,
     )
-    return CollapsedLoop(nest=nest, depth=depth, ranking=ranking, unranking=unranking, pc_name=pc_name)
+    collapsed = CollapsedLoop(
+        nest=nest, depth=depth, ranking=ranking, unranking=unranking, pc_name=pc_name
+    )
+    if cache_key is not None:
+        if len(_COLLAPSE_CACHE) >= _COLLAPSE_CACHE_LIMIT:
+            _COLLAPSE_CACHE.pop(next(iter(_COLLAPSE_CACHE)))
+        _COLLAPSE_CACHE[cache_key] = collapsed
+    return collapsed

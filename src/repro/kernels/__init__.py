@@ -5,7 +5,8 @@ Pluto, some additionally tiled) plus two handwritten triangular-matrix
 programs: ``utma`` (upper-triangular matrix add, 5000x5000) and ``ltmp``
 (lower-triangular matrix product, 4000x4000).  The figure does not list all
 nine Polybench names, so this reproduction picks nine Polybench kernels with
-non-rectangular parallel loops and documents the choice in EXPERIMENTS.md.
+non-rectangular parallel loops and documents the choice in
+:mod:`repro.kernels.polybench`.
 
 Every kernel provides the loop nest in the IR (with array accesses, so the
 collapse precondition can be checked), the collapse depth the paper's tool

@@ -15,12 +15,11 @@ ensure the correctness of the collapsed loops").
 
 from __future__ import annotations
 
-import copy
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
-from ..core import CollapsedLoop, RecoveryStrategy, iterate_chunk
+from ..core import CollapsedLoop, RecoveryStrategy, chunk_iterator_factory
 from ..ir import enumerate_iterations
 from ..openmp.schedule import Chunk, static_schedule
 from .base import DataDict, Kernel
@@ -48,6 +47,7 @@ def run_collapsed_chunks(
     threads: int = 4,
     collapsed: Optional[CollapsedLoop] = None,
     strategy: RecoveryStrategy = RecoveryStrategy.FIRST_THEN_INCREMENT,
+    recovery: str = "symbolic",
 ) -> DataDict:
     """Run the kernel through its collapsed loop, one chunk at a time.
 
@@ -55,6 +55,12 @@ def run_collapsed_chunks(
     the exact work partition the parallel version would execute.  Because the
     collapsed loops carry no dependence, executing the chunks sequentially in
     any order gives the same result as the parallel execution.
+
+    ``recovery`` selects the index-recovery back end: ``"symbolic"`` walks
+    the chunk with the paper's scalar scheme under ``strategy``, while
+    ``"compiled"`` recovers each chunk's index array in one vectorized batch
+    (:mod:`repro.core.batch`; ``strategy`` is then irrelevant because the
+    closed forms are evaluated for all iterations at once).
     """
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
@@ -62,8 +68,9 @@ def run_collapsed_chunks(
     collapsed = collapsed or kernel.collapsed()
     total = collapsed.total_iterations(parameter_values)
     chunk_list = list(chunks) if chunks is not None else static_schedule(total, threads)
+    chunk_indices = chunk_iterator_factory(collapsed, parameter_values, recovery, strategy)
     for chunk in chunk_list:
-        for indices in iterate_chunk(collapsed, chunk.first, chunk.last, parameter_values, strategy):
+        for indices in chunk_indices(chunk.first, chunk.last):
             kernel.iteration_op(data, indices, parameter_values)
     return data
 
@@ -73,12 +80,14 @@ def verify_kernel(
     parameter_values: Optional[Mapping[str, int]] = None,
     threads: int = 4,
     atol: float = 1e-9,
+    recovery: str = "symbolic",
 ) -> bool:
     """Original order == collapsed chunked order == NumPy reference.
 
     Returns ``True`` when all three agree on every array the reference
     defines; this is the per-kernel correctness gate used by the tests and
-    by the benchmark harness before timing anything.
+    by the benchmark harness before timing anything.  ``recovery`` selects
+    the back end the collapsed run uses (see :func:`run_collapsed_chunks`).
     """
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
@@ -86,7 +95,9 @@ def verify_kernel(
     initial = kernel.make_data(parameter_values)
 
     original = run_original(kernel, parameter_values, initial)
-    collapsed = run_collapsed_chunks(kernel, parameter_values, initial, threads=threads)
+    collapsed = run_collapsed_chunks(
+        kernel, parameter_values, initial, threads=threads, recovery=recovery
+    )
     reference = kernel.reference_numpy(initial, parameter_values) if kernel.reference_numpy else {}
 
     for name, expected in reference.items():

@@ -4,8 +4,9 @@ The paper extracts the most time-consuming non-rectangular loop nest of each
 program (after Pluto's transformations) and collapses its parallel loops.
 The figure in the paper does not name all nine programs, so this module
 picks nine Polybench kernels whose parallel loops are non-rectangular (or
-become so after a Pluto-style transformation) and documents each choice; see
-EXPERIMENTS.md for the mapping.
+become so after a Pluto-style transformation) and documents each choice in
+the per-kernel descriptions below (see also the benchmark table in
+README.md).
 
 For the executable subset, ``iteration_op`` applies the body of one
 *collapsed* iteration — the loops below the collapse depth are executed as a

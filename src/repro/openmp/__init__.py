@@ -12,7 +12,7 @@ parallel nest on 12 threads:
   recovery computation, amortised as in Section V).
 
 Python's GIL prevents measuring these effects with real threads, so this
-package provides two substitutes (see DESIGN.md):
+package provides two substitutes (see README.md):
 
 * :mod:`repro.openmp.simulator` — a deterministic simulated-time executor:
   iterations have costs given by a :mod:`cost model <repro.openmp.costmodel>`
@@ -26,7 +26,7 @@ package provides two substitutes (see DESIGN.md):
 from .schedule import Chunk, ScheduleKind, static_schedule, static_chunked_schedule, dynamic_chunks, guided_chunks
 from .costmodel import CostModel, RecoveryCosts
 from .simulator import SimulationResult, ThreadTimeline, simulate_collapsed_static, simulate_outer_parallel
-from .executor import run_chunks_in_processes, run_serial
+from .executor import run_chunks_in_processes, run_collapsed_inline, run_serial
 
 __all__ = [
     "Chunk",
@@ -42,5 +42,6 @@ __all__ = [
     "simulate_collapsed_static",
     "simulate_outer_parallel",
     "run_chunks_in_processes",
+    "run_collapsed_inline",
     "run_serial",
 ]

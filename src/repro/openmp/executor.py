@@ -12,6 +12,15 @@ uses the generated Python code to walk its chunk over NumPy data.  Workers
 return their partial results, which the caller combines — a deliberate
 "share nothing" structure, since fork-based shared mutable arrays would not
 add anything to what the benchmark measures (per-chunk wall-clock time).
+
+:func:`run_collapsed_inline` complements the process pool: it walks the same
+chunk partition in the current process with a selectable index-recovery back
+end (``recovery="compiled"`` for the vectorized batch path of
+:mod:`repro.core.batch`, ``"symbolic"`` for the paper's scalar scheme).
+Compiled recovery functions are ``exec``-generated and therefore not
+picklable, which is why the compiled back end lives on the inline runner —
+workers that want it rebuild their batch recovery after the fork, hitting
+the module-level memo caches.
 """
 
 from __future__ import annotations
@@ -77,6 +86,52 @@ def run_chunks_in_processes(
     elapsed = time.perf_counter() - start
     return ParallelRunResult(
         results=tuple(results),
+        elapsed_seconds=elapsed,
+        chunks=tuple(chunk_list),
+        workers=workers,
+    )
+
+
+def run_collapsed_inline(
+    collapsed,
+    body: Callable[..., Any],
+    parameter_values: Mapping[str, int],
+    workers: int = 1,
+    chunks: Optional[Sequence[Chunk]] = None,
+    recovery: str = "compiled",
+) -> ParallelRunResult:
+    """Walk the collapsed loop chunk by chunk in the current process.
+
+    ``body(i1, ..., ic)`` is called for every collapsed iteration; the chunk
+    partition defaults to the OpenMP-static split over ``workers`` threads,
+    so the iteration-to-chunk assignment is exactly what the parallel run
+    would use (chunks simply execute back to back here).  ``recovery``
+    selects the back end:
+
+    * ``"compiled"`` — each chunk's index array is recovered in one
+      vectorized batch (:class:`repro.core.batch.BatchRecovery`),
+    * ``"symbolic"`` — the scalar once-per-chunk scheme of Section V
+      (:func:`repro.core.iterate_chunk`).
+
+    The per-chunk results are the executed iteration counts.
+    """
+    from ..core import chunk_iterator_factory  # local import: no cycle at module load
+
+    total = collapsed.total_iterations(parameter_values)
+    chunk_list = list(chunks) if chunks is not None else static_schedule(total, workers)
+    chunk_indices = chunk_iterator_factory(collapsed, parameter_values, recovery)
+
+    start = time.perf_counter()
+    executed: List[int] = []
+    for chunk in chunk_list:
+        count = 0
+        for index_tuple in chunk_indices(chunk.first, chunk.last):
+            body(*index_tuple)
+            count += 1
+        executed.append(count)
+    elapsed = time.perf_counter() - start
+    return ParallelRunResult(
+        results=tuple(executed),
         elapsed_seconds=elapsed,
         chunks=tuple(chunk_list),
         workers=workers,

@@ -18,6 +18,10 @@ provides:
 * :mod:`repro.symbolic.solve` — exact symbolic root formulas for univariate
   polynomial equations of degree 1 to 4 (linear, quadratic, Cardano,
   Ferrari), the inversion engine of Section IV of the paper.
+* :mod:`repro.symbolic.compile` — lambdify-style compilation of expressions
+  and polynomials into straight-line Python callables, with an optional
+  NumPy mode that evaluates whole chunks of values per call (the engine of
+  the batch recovery fast path).
 """
 
 from .monomial import Monomial
@@ -37,6 +41,13 @@ from .expression import (
     simplify,
 )
 from .solve import solve_univariate_symbolic, SolveError
+from .compile import (
+    CompileError,
+    CompiledExpr,
+    CompiledPolynomial,
+    compile_expr,
+    compile_polynomial,
+)
 
 __all__ = [
     "Monomial",
@@ -58,4 +69,9 @@ __all__ = [
     "simplify",
     "solve_univariate_symbolic",
     "SolveError",
+    "CompileError",
+    "CompiledExpr",
+    "CompiledPolynomial",
+    "compile_expr",
+    "compile_polynomial",
 ]
