@@ -1,84 +1,143 @@
-"""Wall-clock spot check: real parallel execution of a collapsed chunk range.
+"""Wall-clock benchmark: the persistent runtime engine vs the per-call pool.
 
-Python threads cannot show the paper's gains (GIL), so this benchmark uses
-``multiprocessing`` workers, each walking one static chunk of the collapsed
-``utma`` loop and performing the triangular matrix addition row-fragment by
-row-fragment.  It is a sanity check that the collapsed static partition is
-load-balanced in real time too, not a faithful re-run of the paper's OpenMP
-measurements (see README.md for the substitution rationale).
+PR 1 made index recovery cheap; this benchmark measures what PR 2's runtime
+subsystem does to the *execution* side.  Three paths run repeated rounds of
+the collapsed triangular ``utma`` kernel on the same shared-memory data:
+
+* ``serial``        — vectorized single-process execution (batch recovery +
+                      the kernel's chunk op over the whole range), the
+                      fastest one-core baseline this repository has,
+* ``per_call_pool`` — a **fresh** :class:`RuntimeEngine` per round: fork the
+                      workers, register the plan, attach the buffers, run
+                      once, tear everything down — the cost structure of the
+                      old fork-a-``multiprocessing.Pool``-per-run scheme,
+* ``engine``        — one persistent :class:`RuntimeEngine` across rounds:
+                      after the warm-up, every round is pure chunk dispatch.
+
+The per-round timings land in ``BENCH_runtime.json`` (path overridable via
+``BENCH_RUNTIME_JSON``), and the asserted gate is the PR's acceptance
+criterion: the persistent engine beats the per-call pool by >= 2x on
+repeated runs.  Correctness is asserted against ``run_original`` before
+anything is timed.  ``BENCH_RUNTIME_N`` / ``BENCH_RUNTIME_WORKERS`` /
+``BENCH_RUNTIME_REPEATS`` shrink the configuration for CI smoke runs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
-from repro.core import RecoveryStrategy, collapse, iterate_chunk
-from repro.ir import Loop, LoopNest
-from repro.openmp import run_chunks_in_processes, run_serial
+from repro.core import batch_recovery
+from repro.kernels import get_kernel, run_original
+from repro.runtime import RuntimeEngine, SharedBuffers, build_plan
 
-N = 600          # kept modest so the whole benchmark stays a few seconds
-WORKERS = 4
+N = int(os.environ.get("BENCH_RUNTIME_N", "512"))
+WORKERS = int(os.environ.get("BENCH_RUNTIME_WORKERS", "4"))
+REPEATS = int(os.environ.get("BENCH_RUNTIME_REPEATS", "5"))
+SCHEDULE = os.environ.get("BENCH_RUNTIME_SCHEDULE", "adaptive")
+JSON_PATH = Path(os.environ.get("BENCH_RUNTIME_JSON", "BENCH_runtime.json"))
+
+#: acceptance gate of the runtime PR (ISSUE 2): persistent >= 2x per-call
+REQUIRED_SPEEDUP = 2.0
 
 
-def _utma_nest() -> LoopNest:
-    return LoopNest(
-        [Loop.make("i", 0, "N"), Loop.make("j", "i", "N")], parameters=["N"], name="utma"
-    )
-
-
-def utma_chunk_worker(first_pc: int, last_pc: int, parameter_values) -> float:
-    """Top-level picklable worker: adds the chunk's elements of two triangular matrices.
-
-    The matrices are regenerated from the same seed in every worker (cheap
-    compared with the traversal) so no shared memory is needed; the returned
-    checksum lets the caller verify that the union of chunks touched every
-    element exactly once.
-    """
-    n = parameter_values["N"]
-    rng = np.random.default_rng(1234)
-    a = rng.standard_normal((n, n))
-    b = rng.standard_normal((n, n))
-    collapsed = collapse(_utma_nest())
-    checksum = 0.0
-    for i, j in iterate_chunk(
-        collapsed, first_pc, last_pc, parameter_values, RecoveryStrategy.FIRST_THEN_INCREMENT
-    ):
-        checksum += a[i, j] + b[i, j]
-    return checksum
+def _timed(callable_, repeats: int):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return timings
 
 
 @pytest.fixture(scope="module")
-def utma_setup():
-    collapsed = collapse(_utma_nest())
-    total = collapsed.total_iterations({"N": N})
-    serial = run_serial(utma_chunk_worker, total, {"N": N})
-    return total, serial
+def runtime_rounds():
+    """Run all three paths once, yield their timings, then write the JSON."""
+    kernel = get_kernel("utma")
+    values = {"N": N}
+    plan = build_plan(kernel, values, schedule=SCHEDULE)
+    collapsed = plan.collapsed
+    total = collapsed.total_iterations(values)
+    recovery = batch_recovery(collapsed)  # warm the compiled-recovery cache
+
+    expected = run_original(kernel, values)
+
+    with SharedBuffers.create(kernel.make_data(values)) as buffers:
+        # ---- correctness gate before any timing ---------------------- #
+        with RuntimeEngine(workers=WORKERS) as engine:
+            engine.execute(plan, buffers=buffers)
+            assert np.array_equal(buffers.arrays["c"], expected["c"])
+
+        # utma only writes c, so repeated rounds are idempotent and need
+        # no re-initialisation between timings
+        def serial_round():
+            indices = recovery.recover_range(1, total, values)
+            kernel.chunk_op(buffers.arrays, indices, values)
+
+        def per_call_round():
+            with RuntimeEngine(workers=WORKERS) as fresh:
+                fresh.execute(plan, buffers=buffers)
+
+        serial = _timed(serial_round, REPEATS)
+        per_call = _timed(per_call_round, REPEATS)
+
+        with RuntimeEngine(workers=WORKERS) as engine:
+            engine.execute(plan, buffers=buffers)  # warm-up: register + attach
+            persistent = _timed(lambda: engine.execute(plan, buffers=buffers), REPEATS)
+
+        assert np.array_equal(buffers.arrays["c"], expected["c"])
+
+    report = {
+        "kernel": kernel.name,
+        "parameters": values,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "schedule": SCHEDULE,
+        "collapsed_iterations": total,
+        "timings_seconds": {
+            "serial": serial,
+            "per_call_pool": per_call,
+            "engine": persistent,
+        },
+        "median_seconds": {
+            "serial": statistics.median(serial),
+            "per_call_pool": statistics.median(per_call),
+            "engine": statistics.median(persistent),
+        },
+        "speedup_engine_vs_per_call_pool": statistics.median(per_call)
+        / max(statistics.median(persistent), 1e-9),
+        "speedup_engine_vs_serial": statistics.median(serial)
+        / max(statistics.median(persistent), 1e-9),
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    yield report
 
 
-def test_serial_baseline(benchmark, utma_setup):
-    total, serial = utma_setup
-    result = benchmark.pedantic(
-        lambda: run_serial(utma_chunk_worker, total, {"N": N}), rounds=1, iterations=1
-    )
-    assert result.results[0] == pytest.approx(serial.results[0])
-
-
-def test_multiprocessing_static_split(benchmark, utma_setup):
-    total, serial = utma_setup
-
-    result = benchmark.pedantic(
-        lambda: run_chunks_in_processes(utma_chunk_worker, total, {"N": N}, workers=WORKERS),
-        rounds=1,
-        iterations=1,
-    )
-    # the chunk checksums must add up to the serial checksum: every element
-    # of the triangle was visited exactly once across the workers
-    assert sum(result.results) == pytest.approx(serial.results[0], rel=1e-9)
-    assert len(result.chunks) == WORKERS
+def test_engine_beats_per_call_pool(runtime_rounds):
+    """The acceptance gate: persistent dispatch >= 2x over pool-per-call."""
+    speedup = runtime_rounds["speedup_engine_vs_per_call_pool"]
     print(
-        f"\nutma N={N}: serial {serial.elapsed_seconds:.2f}s, "
-        f"{WORKERS} processes {result.elapsed_seconds:.2f}s "
-        f"(speed-up {serial.elapsed_seconds / max(result.elapsed_seconds, 1e-9):.2f}x, "
-        "includes process start-up)"
+        f"\nutma N={N}, {WORKERS} workers, schedule={SCHEDULE}: "
+        f"per-call pool {runtime_rounds['median_seconds']['per_call_pool'] * 1e3:.1f} ms, "
+        f"persistent engine {runtime_rounds['median_seconds']['engine'] * 1e3:.1f} ms "
+        f"(speed-up {speedup:.1f}x)"
     )
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_json_report_written(runtime_rounds):
+    report = json.loads(JSON_PATH.read_text())
+    assert report["kernel"] == "utma"
+    assert len(report["timings_seconds"]["engine"]) == REPEATS
+    assert report["speedup_engine_vs_per_call_pool"] > 0
+
+
+def test_per_round_timings_positive(runtime_rounds):
+    for mode, timings in runtime_rounds["timings_seconds"].items():
+        assert all(t > 0 for t in timings), mode

@@ -65,6 +65,24 @@ def _private_clause(collapsed: CollapsedLoop, extra: str = "") -> str:
     return f"private({names}{', ' + extra if extra else ''})"
 
 
+def _schedule_clause(schedule, with_chunk: bool) -> str:
+    """Validate and render a schedule through the one shared parser.
+
+    ``schedule`` is anything :meth:`ScheduleSpec.parse` accepts.  Rejecting
+    unknown names here (instead of interpolating them verbatim) keeps the
+    emitted pragmas compilable; the engine-only ``adaptive`` policy is
+    rejected by ``to_openmp`` because it has no OpenMP spelling.
+    """
+    # deferred import: repro.openmp depends on repro.core, not the reverse
+    from ..openmp.schedule import ScheduleSpec
+
+    try:
+        spec = ScheduleSpec.parse(schedule)
+        return spec.to_openmp() if with_chunk else spec.kind.to_openmp()
+    except ValueError as error:
+        raise CodegenError(str(error)) from None
+
+
 def _total_c_source(collapsed: CollapsedLoop) -> str:
     """The collapsed trip count as C source, rounded to the nearest integer.
 
@@ -79,7 +97,10 @@ def generate_openmp_collapsed(collapsed: CollapsedLoop, schedule: str = "static"
     total = _total_c_source(collapsed)
     lines = _header(collapsed)
     lines.append("")
-    lines.append(f"#pragma omp parallel for {_private_clause(collapsed)} schedule({schedule})")
+    lines.append(
+        f"#pragma omp parallel for {_private_clause(collapsed)} "
+        f"schedule({_schedule_clause(schedule, with_chunk=True)})"
+    )
     lines.append(f"for (long pc = 1; pc <= {total}; pc++) {{")
     lines.extend("  " + line for line in _c_recovery_lines(collapsed))
     lines.append(f"  /* original statements */")
@@ -107,12 +128,13 @@ def generate_openmp_chunked(
         lines.append("int first_iteration = 1;")
         lines.append(
             f"#pragma omp parallel for {_private_clause(collapsed)} "
-            f"firstprivate(first_iteration) schedule({schedule})"
+            f"firstprivate(first_iteration) schedule({_schedule_clause(schedule, with_chunk=True)})"
         )
     else:
         lines.append(f"#define CHUNK {chunk}")
         lines.append(
-            f"#pragma omp parallel for {_private_clause(collapsed)} schedule({schedule}, CHUNK)"
+            f"#pragma omp parallel for {_private_clause(collapsed)} "
+            f"schedule({_schedule_clause(schedule, with_chunk=False)}, CHUNK)"
         )
     lines.append(f"for (long pc = 1; pc <= {total}; pc++) {{")
     condition = "first_iteration" if chunk is None else "(pc - 1) % CHUNK == 0"

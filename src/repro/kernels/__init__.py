@@ -18,7 +18,7 @@ result as the original nest.
 
 from .base import Kernel, all_kernels, executable_kernels, get_kernel, register_kernel
 from . import polybench, triangular, tiled  # noqa: F401  (registration side effects)
-from .execution import run_collapsed_chunks, run_original, verify_kernel
+from .execution import run_collapsed_chunks, run_collapsed_engine, run_original, verify_kernel
 from .tiled import TILED_KERNELS, TiledKernel, get_tiled_kernel
 
 __all__ = [
@@ -28,6 +28,7 @@ __all__ = [
     "get_kernel",
     "register_kernel",
     "run_collapsed_chunks",
+    "run_collapsed_engine",
     "run_original",
     "verify_kernel",
     "TiledKernel",

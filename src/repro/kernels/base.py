@@ -13,6 +13,9 @@ from ..openmp.costmodel import CostModel, RecoveryCosts
 DataDict = Dict[str, object]
 #: ``iteration_op(data, indices, parameter_values)`` applies one collapsed iteration
 IterationOp = Callable[[DataDict, Tuple[int, ...], Mapping[str, int]], None]
+#: ``chunk_op(data, indices, parameter_values)`` applies a whole chunk at once:
+#: ``indices`` is the ``(n, depth)`` int64 array a batch recovery produced
+ChunkOp = Callable[[DataDict, object, Mapping[str, int]], None]
 
 
 @dataclass(frozen=True)
@@ -32,6 +35,10 @@ class Kernel:
     #: element-wise kernels have constant work 1.
     make_data: Optional[Callable[[Mapping[str, int]], DataDict]] = None
     iteration_op: Optional[IterationOp] = None
+    #: vectorized form of ``iteration_op`` over a whole recovered index array;
+    #: the runtime engine prefers it (one NumPy call per chunk instead of a
+    #: Python call per iteration) and falls back to ``iteration_op`` when None
+    chunk_op: Optional[ChunkOp] = None
     reference_numpy: Optional[Callable[[DataDict, Mapping[str, int]], DataDict]] = None
     check_dependences: bool = True
 

@@ -75,12 +75,48 @@ def run_collapsed_chunks(
     return data
 
 
+def run_collapsed_engine(
+    kernel: Kernel,
+    parameter_values: Mapping[str, int],
+    data: Optional[DataDict] = None,
+    workers: int = 2,
+    schedule: str = "adaptive",
+    session=None,
+) -> DataDict:
+    """Run the kernel's collapsed loop on the persistent runtime engine.
+
+    The parallel counterpart of :func:`run_collapsed_chunks`: the chunks
+    execute on the worker pool of a :class:`repro.runtime.RuntimeSession`
+    against shared-memory copies of the kernel arrays, under any schedule
+    (including the cost-model ``"adaptive"`` policy).  Because the collapsed
+    levels carry no dependence, the result is element-wise identical to
+    :func:`run_original` — which the runtime test suite asserts.
+
+    Without an explicit ``session`` the process-wide default session is
+    used, so repeated calls amortise the pool start-up; the serial paths
+    above stay untouched as baselines.
+    """
+    from ..runtime import collapse_and_run  # deferred: runtime sits above kernels
+
+    if not kernel.is_executable:
+        raise ValueError(f"kernel {kernel.name!r} has no executable body")
+    return collapse_and_run(
+        kernel,
+        parameter_values,
+        workers=workers,
+        schedule=schedule,
+        data=_clone_data(data) if data is not None else None,
+        session=session,
+    )
+
+
 def verify_kernel(
     kernel: Kernel,
     parameter_values: Optional[Mapping[str, int]] = None,
     threads: int = 4,
     atol: float = 1e-9,
     recovery: str = "symbolic",
+    session=None,
 ) -> bool:
     """Original order == collapsed chunked order == NumPy reference.
 
@@ -88,6 +124,9 @@ def verify_kernel(
     defines; this is the per-kernel correctness gate used by the tests and
     by the benchmark harness before timing anything.  ``recovery`` selects
     the back end the collapsed run uses (see :func:`run_collapsed_chunks`).
+    Passing a :class:`repro.runtime.RuntimeSession` additionally runs the
+    kernel through the parallel engine and requires that result to match
+    the original order too.
     """
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
@@ -106,4 +145,11 @@ def verify_kernel(
     for name in original:
         if not np.allclose(original[name], collapsed[name], atol=atol):
             return False
+    if session is not None:
+        engine_result = run_collapsed_engine(
+            kernel, parameter_values, initial, session=session
+        )
+        for name in original:
+            if not np.allclose(original[name], engine_result[name], atol=atol):
+                return False
     return True

@@ -62,6 +62,16 @@ def _utma_op(data, indices: Tuple[int, ...], values) -> None:
     data["c"][i, j] = data["a"][i, j] + data["b"][i, j]
 
 
+def _utma_chunk_op(data, indices, values) -> None:
+    """Whole-chunk utma: one fancy-indexed add over the recovered (i, j) array.
+
+    Safe because a chunk's recovered rows are distinct iterations (unranking
+    is a bijection), so the scatter never writes one element twice.
+    """
+    rows, cols = indices[:, 0], indices[:, 1]
+    data["c"][rows, cols] = data["a"][rows, cols] + data["b"][rows, cols]
+
+
 def _utma_reference(data, values):
     return {"c": np.triu(data["a"] + data["b"])}
 
@@ -76,6 +86,7 @@ register_kernel(
         bench_parameters={"N": 250},
         make_data=_utma_data,
         iteration_op=_utma_op,
+        chunk_op=_utma_chunk_op,
         reference_numpy=_utma_reference,
     )
 )

@@ -23,7 +23,16 @@ package provides two substitutes (see README.md):
   the wall-clock spot-check benchmark on coarse-grained kernels.
 """
 
-from .schedule import Chunk, ScheduleKind, static_schedule, static_chunked_schedule, dynamic_chunks, guided_chunks
+from .schedule import (
+    Chunk,
+    ScheduleKind,
+    ScheduleSpec,
+    schedule_chunks,
+    static_schedule,
+    static_chunked_schedule,
+    dynamic_chunks,
+    guided_chunks,
+)
 from .costmodel import CostModel, RecoveryCosts
 from .simulator import SimulationResult, ThreadTimeline, simulate_collapsed_static, simulate_outer_parallel
 from .executor import run_chunks_in_processes, run_collapsed_inline, run_serial
@@ -31,6 +40,8 @@ from .executor import run_chunks_in_processes, run_collapsed_inline, run_serial
 __all__ = [
     "Chunk",
     "ScheduleKind",
+    "ScheduleSpec",
+    "schedule_chunks",
     "static_schedule",
     "static_chunked_schedule",
     "dynamic_chunks",

@@ -30,28 +30,49 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
-from .schedule import Chunk, static_schedule
+from .schedule import Chunk, ScheduleKind, ScheduleSpec, schedule_chunks, static_schedule
 
 WorkerFunction = Callable[[int, int, Mapping[str, int]], Any]
+
+#: the schedule every runner reports unless told otherwise — a plain OpenMP
+#: static split, which is also what a serial run is: one static chunk.
+_STATIC = ScheduleSpec(ScheduleKind.STATIC)
 
 
 @dataclass(frozen=True)
 class ParallelRunResult:
-    """Wall-clock outcome of a multiprocessing run."""
+    """Wall-clock outcome of a multiprocessing run.
+
+    ``schedule`` records the schedule the run actually executed under, so
+    speedup math never has to guess: a serial baseline reports a real
+    single-chunk static schedule, not an implicit one.
+    """
 
     results: Tuple[Any, ...]
     elapsed_seconds: float
     chunks: Tuple[Chunk, ...]
     workers: int
+    schedule: ScheduleSpec = _STATIC
 
 
 def run_serial(worker: WorkerFunction, total: int, parameter_values: Mapping[str, int]) -> ParallelRunResult:
-    """Run the whole range ``[1, total]`` in the current process (the baseline)."""
+    """Run the whole range ``[1, total]`` in the current process (the baseline).
+
+    The result carries the schedule a serial run really is — the static
+    one-thread split, a single chunk ``[1, total]`` on thread 0 — so the
+    gain formulas can treat serial and parallel results uniformly.
+    """
+    chunk_list = static_schedule(total, 1)
     start = time.perf_counter()
     result = worker(1, total, dict(parameter_values)) if total > 0 else None
     elapsed = time.perf_counter() - start
-    chunk = (Chunk(1, total, 0),) if total > 0 else ()
-    return ParallelRunResult(results=(result,) if total > 0 else (), elapsed_seconds=elapsed, chunks=chunk, workers=1)
+    return ParallelRunResult(
+        results=(result,) if total > 0 else (),
+        elapsed_seconds=elapsed,
+        chunks=tuple(chunk_list),
+        workers=1,
+        schedule=_STATIC,
+    )
 
 
 def run_chunks_in_processes(
@@ -61,19 +82,38 @@ def run_chunks_in_processes(
     workers: int,
     chunks: Optional[Sequence[Chunk]] = None,
     start_method: str = "fork",
+    schedule: object = "static",
+    engine=None,
 ) -> ParallelRunResult:
-    """Run the collapsed range on ``workers`` processes with a static split.
+    """Run the collapsed range on ``workers`` processes.
 
-    ``chunks`` defaults to the OpenMP-static partition of ``[1, total]``.
-    Returns the per-chunk results in chunk order together with the elapsed
-    wall-clock time (including process pool start-up, which is reported, not
-    hidden — the paper's numbers include the OpenMP runtime overheads too).
+    ``chunks`` defaults to the partition that ``schedule`` (anything
+    :meth:`ScheduleSpec.parse` accepts) cuts over ``[1, total]`` — the plain
+    OpenMP-static split unless told otherwise.  Returns the per-chunk results
+    in chunk order together with the elapsed wall-clock time.
+
+    With ``engine=None`` a fresh pool is forked for this one call and torn
+    down afterwards (start-up is reported, not hidden — the paper's numbers
+    include the OpenMP runtime overheads too).  Pass a started
+    :class:`repro.runtime.RuntimeEngine` to route the same chunks through
+    its persistent workers instead, which amortises the pool start-up across
+    calls; the per-call path is kept as the baseline the engine is measured
+    against.  With an engine, its own pool defines the execution: default
+    chunks are cut for ``engine.workers`` (not ``workers``) and
+    ``start_method`` does not apply — the pool already exists.
     """
     if workers < 1:
         raise ValueError("workers must be at least 1")
-    chunk_list = list(chunks) if chunks is not None else static_schedule(total, workers)
+    spec = ScheduleSpec.parse(schedule)
+    if engine is not None:
+        workers = engine.workers
+    chunk_list = list(chunks) if chunks is not None else schedule_chunks(spec, total, workers)
     if not chunk_list:
-        return ParallelRunResult(results=(), elapsed_seconds=0.0, chunks=(), workers=workers)
+        return ParallelRunResult(
+            results=(), elapsed_seconds=0.0, chunks=(), workers=workers, schedule=spec
+        )
+    if engine is not None:
+        return engine.map_chunks(worker, chunk_list, parameter_values, schedule=spec)
     arguments = [(chunk.first, chunk.last, dict(parameter_values)) for chunk in chunk_list]
 
     start = time.perf_counter()
@@ -89,6 +129,7 @@ def run_chunks_in_processes(
         elapsed_seconds=elapsed,
         chunks=tuple(chunk_list),
         workers=workers,
+        schedule=spec,
     )
 
 
@@ -99,6 +140,7 @@ def run_collapsed_inline(
     workers: int = 1,
     chunks: Optional[Sequence[Chunk]] = None,
     recovery: str = "compiled",
+    schedule: object = "static",
 ) -> ParallelRunResult:
     """Walk the collapsed loop chunk by chunk in the current process.
 
@@ -117,8 +159,9 @@ def run_collapsed_inline(
     """
     from ..core import chunk_iterator_factory  # local import: no cycle at module load
 
+    spec = ScheduleSpec.parse(schedule)
     total = collapsed.total_iterations(parameter_values)
-    chunk_list = list(chunks) if chunks is not None else static_schedule(total, workers)
+    chunk_list = list(chunks) if chunks is not None else schedule_chunks(spec, total, workers)
     chunk_indices = chunk_iterator_factory(collapsed, parameter_values, recovery)
 
     start = time.perf_counter()
@@ -135,4 +178,5 @@ def run_collapsed_inline(
         elapsed_seconds=elapsed,
         chunks=tuple(chunk_list),
         workers=workers,
+        schedule=spec,
     )

@@ -19,16 +19,122 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Union
 
 
 class ScheduleKind(enum.Enum):
-    """The OpenMP ``schedule`` clauses modelled by the simulator."""
+    """The OpenMP ``schedule`` clauses modelled by the simulator.
+
+    ``ADAPTIVE`` is this reproduction's own extension: chunks sized by the
+    cost model so each carries near-equal estimated *work* rather than an
+    equal iteration count (see :mod:`repro.runtime.plan`).  It has no OpenMP
+    spelling, so the C code generator rejects it.
+    """
 
     STATIC = "static"
     STATIC_CHUNKED = "static_chunked"
     DYNAMIC = "dynamic"
     GUIDED = "guided"
+    ADAPTIVE = "adaptive"
+
+    @classmethod
+    def from_string(cls, text: Union[str, "ScheduleKind"]) -> "ScheduleKind":
+        """Parse a schedule name — the one parser every layer shares.
+
+        Accepts the enum values themselves, the OpenMP clause spellings
+        (``"static"``, ``"dynamic"``, ``"guided"``), a trailing chunk size
+        (``"dynamic,4"`` — which turns plain ``static`` into
+        ``STATIC_CHUNKED``, exactly like the OpenMP clause does), and is
+        case/whitespace insensitive.  Used by
+        :func:`repro.core.generate_openmp_collapsed`, the executor and the
+        runtime engine instead of three ad-hoc string checks.
+        """
+        return ScheduleSpec.parse(text).kind
+
+    def to_openmp(self) -> str:
+        """The OpenMP clause spelling (``STATIC_CHUNKED`` is ``static`` + chunk)."""
+        if self is ScheduleKind.ADAPTIVE:
+            raise ValueError(
+                "schedule 'adaptive' is a runtime-engine policy with no OpenMP spelling"
+            )
+        return "static" if self is ScheduleKind.STATIC_CHUNKED else self.value
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """A fully parsed schedule clause: the kind plus its optional chunk size.
+
+    This is what ``schedule(dynamic, 4)`` is to OpenMP: the policy *and* its
+    granularity, carried together so every runner can report the schedule it
+    actually executed (:class:`repro.openmp.executor.ParallelRunResult`,
+    :class:`repro.runtime.engine.EngineRunResult`).
+    """
+
+    kind: ScheduleKind
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self):
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk size must be at least 1, got {self.chunk_size}")
+
+    @classmethod
+    def parse(cls, text: Union[str, ScheduleKind, "ScheduleSpec"]) -> "ScheduleSpec":
+        """Parse ``"static"``, ``"dynamic,4"``, ``"guided, 2"``, a kind, or a spec."""
+        if isinstance(text, ScheduleSpec):
+            return text
+        if isinstance(text, ScheduleKind):
+            return cls(kind=text)
+        if not isinstance(text, str):
+            raise ValueError(f"cannot parse schedule from {text!r}")
+        head, _sep, tail = text.strip().lower().partition(",")
+        chunk: Optional[int] = None
+        if tail.strip():
+            try:
+                chunk = int(tail.strip())
+            except ValueError:
+                raise ValueError(f"invalid chunk size in schedule {text!r}") from None
+        aliases = {kind.value: kind for kind in ScheduleKind}
+        kind = aliases.get(head.strip())
+        if kind is None:
+            raise ValueError(
+                f"unknown schedule {text!r}; expected one of {sorted(aliases)} "
+                "with an optional ',chunk' suffix"
+            )
+        if kind is ScheduleKind.STATIC and chunk is not None:
+            kind = ScheduleKind.STATIC_CHUNKED
+        return cls(kind=kind, chunk_size=chunk)
+
+    def to_openmp(self) -> str:
+        """The text inside an OpenMP ``schedule(...)`` clause."""
+        base = self.kind.to_openmp()
+        return f"{base}, {self.chunk_size}" if self.chunk_size is not None else base
+
+    def __str__(self) -> str:
+        if self.chunk_size is not None:
+            return f"{self.kind.value},{self.chunk_size}"
+        return self.kind.value
+
+
+def schedule_chunks(spec: Union[str, ScheduleKind, ScheduleSpec], total: int, threads: int) -> List[Chunk]:
+    """Cut ``[1, total]`` into chunks according to a parsed schedule.
+
+    The single dispatch point of the three classic OpenMP families; the
+    cost-model-driven ``ADAPTIVE`` policy needs a collapsed loop and lives in
+    :func:`repro.runtime.plan.adaptive_chunks`.
+    """
+    spec = ScheduleSpec.parse(spec)
+    if spec.kind is ScheduleKind.STATIC:
+        return static_schedule(total, threads)
+    if spec.kind is ScheduleKind.STATIC_CHUNKED:
+        return static_chunked_schedule(total, threads, spec.chunk_size or 1)
+    if spec.kind is ScheduleKind.DYNAMIC:
+        return dynamic_chunks(total, spec.chunk_size or 1)
+    if spec.kind is ScheduleKind.GUIDED:
+        return guided_chunks(total, threads, spec.chunk_size or 1)
+    raise ValueError(
+        f"schedule {spec.kind.value!r} needs a cost model; build chunks through "
+        "repro.runtime (ExecutionPlan.chunks)"
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,278 @@
+"""Execution plans: collapse once, decide the schedule once, run many times.
+
+An :class:`ExecutionPlan` bundles everything a run of a collapsed nest needs
+— the :class:`~repro.core.CollapsedLoop` (with its memoised compiled batch
+recovery), the concrete parameter values, the kernel operations, and a
+:class:`~repro.openmp.ScheduleSpec` policy — so the expensive parts (Ehrhart
+ranking, symbolic root solving, NumPy code generation, chunk planning) are
+paid at build time and every subsequent :meth:`RuntimeEngine.execute
+<repro.runtime.engine.RuntimeEngine.execute>` is pure dispatch.
+
+The module also implements the engine's own schedule policy,
+``ScheduleKind.ADAPTIVE``: chunks sized by the cost model of
+:mod:`repro.openmp.costmodel` so that each chunk carries near-equal
+estimated *work* rather than an equal iteration count.  For a kernel like
+``ltmp`` — whose non-collapsed inner loop leaves a per-``pc`` work that
+varies with the recovered indices — equal-iteration static chunks are
+imbalanced even after collapsing (the one negative case of the paper's
+Fig. 9); equal-work chunks restore the balance without paying dynamic
+dispatch for thousands of tiny chunks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..core import CollapsedLoop, batch_recovery, collapse, resolve_recovery_backend
+from ..ir import LoopNest
+from ..openmp.costmodel import CostModel
+from ..openmp.schedule import Chunk, ScheduleKind, ScheduleSpec, schedule_chunks
+from ..symbolic.compile import compile_polynomial
+
+_PLAN_IDS = itertools.count(1)
+
+#: chunks handed out per worker by the on-demand policies when no explicit
+#: chunk size is given — enough slack for load balancing, few enough that
+#: queue traffic stays negligible next to the chunk compute.
+DEFAULT_OVERSUBSCRIBE = 4
+
+
+class PlanError(ValueError):
+    """Raised for plans that cannot be built or executed."""
+
+
+def per_iteration_work(
+    collapsed: CollapsedLoop,
+    parameter_values: Mapping[str, int],
+    cost_model: Optional[CostModel] = None,
+) -> np.ndarray:
+    """Estimated work of every collapsed iteration, as a float64 vector.
+
+    The cost model's ``work_below(depth)`` polynomial (the Ehrhart count of
+    the non-collapsed inner loops) is specialised to the parameter values,
+    compiled to NumPy straight-line code, and evaluated over the indices the
+    batch recovery produces for the whole ``pc`` range — the same vectorized
+    machinery the execution fast path uses, here powering the scheduler.
+    """
+    model = cost_model or CostModel(collapsed.nest)
+    total = collapsed.total_iterations(parameter_values)
+    if total == 0:
+        return np.zeros(0, dtype=np.float64)
+    work_poly = model.work_below(collapsed.depth).evaluate_partial(dict(parameter_values))
+    names = [name for name in collapsed.iterators if name in work_poly.variables()]
+    if not names:  # constant work per iteration (fully collapsed nests)
+        constant = max(0.0, float(work_poly.evaluate({})))
+        return np.full(total, constant * model.costs.unit_work, dtype=np.float64)
+    indices = batch_recovery(collapsed).recover_range(1, total, parameter_values)
+    compiled = compile_polynomial(work_poly, variables=names, mode="numpy")
+    columns = {
+        name: indices[:, position].astype(np.float64)
+        for position, name in enumerate(collapsed.iterators)
+    }
+    work = np.asarray(compiled.evaluate(columns), dtype=np.float64)
+    return np.maximum(work, 0.0) * model.costs.unit_work
+
+
+def adaptive_chunks(
+    collapsed: CollapsedLoop,
+    parameter_values: Mapping[str, int],
+    workers: int,
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+    cost_model: Optional[CostModel] = None,
+) -> List[Chunk]:
+    """Cut ``[1, total]`` into ~``workers * oversubscribe`` equal-*work* chunks.
+
+    The cumulative work vector is cut at its evenly spaced quantiles, so a
+    chunk covering cheap iterations (small recovered inner trip counts) is
+    proportionally longer than one covering expensive iterations.  Chunks
+    carry no pre-assigned thread: the engine hands them out on demand, and
+    the equal-work sizing keeps the hand-out count small.
+    """
+    if workers < 1:
+        raise PlanError("workers must be at least 1")
+    total = collapsed.total_iterations(parameter_values)
+    if total == 0:
+        return []
+    work = per_iteration_work(collapsed, parameter_values, cost_model)
+    cumulative = np.cumsum(work)
+    grand_total = float(cumulative[-1])
+    count = min(total, max(1, workers * max(1, oversubscribe)))
+    if grand_total <= 0.0:  # degenerate model: fall back to equal iterations
+        bounds = np.linspace(0, total, count + 1).astype(np.int64)
+    else:
+        targets = np.linspace(0.0, grand_total, count + 1)[1:-1]
+        cuts = np.searchsorted(cumulative, targets, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [total]))
+    chunks: List[Chunk] = []
+    previous = 0
+    for bound in bounds[1:]:
+        bound = int(min(max(bound, previous), total))
+        if bound > previous:
+            chunks.append(Chunk(first=previous + 1, last=bound))
+            previous = bound
+    if previous < total:  # numerical guard: never drop the tail
+        chunks.append(Chunk(first=previous + 1, last=total))
+    return chunks
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One reusable, engine-executable description of a collapsed run.
+
+    Built once by :func:`build_plan` (or cached by the session layer) and
+    executed any number of times; ``plan_id`` is what the engine uses to
+    register the plan with its workers exactly once.
+    """
+
+    plan_id: str
+    collapsed: CollapsedLoop
+    parameter_values: Mapping[str, int]
+    schedule: ScheduleSpec
+    kernel_name: Optional[str] = None
+    iteration_op: Optional[Callable] = None
+    chunk_op: Optional[Callable] = None
+    recovery: str = "compiled"
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE
+    cost_model: Optional[CostModel] = field(default=None, compare=False)
+    #: chunk partitions per worker count — plans are immutable, so a policy's
+    #: partition is deterministic and computed once (the adaptive one walks
+    #: the whole pc range; paying that on every dispatch would tax the very
+    #: hot path the plan exists to keep clean)
+    _chunk_cache: Dict[int, List[Chunk]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    @property
+    def total_iterations(self) -> int:
+        return self.collapsed.total_iterations(self.parameter_values)
+
+    def chunks(self, workers: int) -> List[Chunk]:
+        """The chunk partition this plan's policy produces for ``workers``.
+
+        ``ADAPTIVE`` sizes chunks by estimated per-iteration work; ``DYNAMIC``
+        without an explicit chunk size uses an oversubscribed equal split
+        (OpenMP's default chunk of 1 would mean one queue round-trip per
+        iteration, a pure-overhead regime the simulator already covers);
+        the classic kinds delegate to :func:`repro.openmp.schedule_chunks`.
+        Partitions are memoised per worker count — built once, like the plan.
+        """
+        cached = self._chunk_cache.get(workers)
+        if cached is not None:
+            return list(cached)
+        total = self.total_iterations
+        if self.schedule.kind is ScheduleKind.ADAPTIVE:
+            chunks = adaptive_chunks(
+                self.collapsed,
+                self.parameter_values,
+                workers,
+                oversubscribe=self.oversubscribe,
+                cost_model=self.cost_model,
+            )
+        elif self.schedule.kind is ScheduleKind.DYNAMIC and self.schedule.chunk_size is None:
+            chunk = max(1, -(-total // (workers * max(1, self.oversubscribe))))
+            chunks = schedule_chunks(ScheduleSpec(ScheduleKind.DYNAMIC, chunk), total, workers)
+        else:
+            chunks = schedule_chunks(self.schedule, total, workers)
+        self._chunk_cache[workers] = chunks
+        return list(chunks)
+
+    def payload(self) -> dict:
+        """The picklable registration message workers rebuild the plan from.
+
+        A registry kernel travels as its name (workers resolve operations
+        from their own registry); ad-hoc operations travel as module-level
+        function references.  The collapsed loop itself pickles cheaply —
+        the solved unranking goes over the wire, so workers never repeat the
+        symbolic root solving, only the (fast) NumPy code generation.
+        """
+        return {
+            "plan_id": self.plan_id,
+            "collapsed": self.collapsed,
+            "parameter_values": dict(self.parameter_values),
+            "kernel_name": self.kernel_name,
+            "iteration_op": None if self.kernel_name else self.iteration_op,
+            "chunk_op": None if self.kernel_name else self.chunk_op,
+            "recovery": self.recovery,
+        }
+
+
+def build_plan(
+    source,
+    parameter_values: Mapping[str, int],
+    schedule: object = "adaptive",
+    depth: Optional[int] = None,
+    recovery: str = "compiled",
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+    iteration_op: Optional[Callable] = None,
+    chunk_op: Optional[Callable] = None,
+) -> ExecutionPlan:
+    """Build an :class:`ExecutionPlan` from a kernel, nest or collapsed loop.
+
+    ``source`` may be a registered kernel name, a
+    :class:`~repro.kernels.Kernel`, a :class:`~repro.ir.LoopNest` (collapsed
+    here, through the memo cache) or an existing
+    :class:`~repro.core.CollapsedLoop`.  Ad-hoc ``iteration_op``/``chunk_op``
+    must be module-level (picklable) functions; registered kernels need
+    neither, their operations resolve from the registry inside each worker.
+    """
+    from ..kernels import Kernel, get_kernel  # deferred: kernels import runtime helpers
+
+    resolve_recovery_backend(recovery)
+    spec = ScheduleSpec.parse(schedule)
+    kernel_name: Optional[str] = None
+    cost_model: Optional[CostModel] = None
+
+    if isinstance(source, str):
+        source = get_kernel(source)
+    if isinstance(source, Kernel):
+        if not source.is_executable:
+            raise PlanError(f"kernel {source.name!r} has no executable body")
+        kernel_name = source.name
+        cost_model = source.cost_model()
+        collapsed = source.collapsed()
+        iteration_op = source.iteration_op
+        chunk_op = source.chunk_op
+    elif isinstance(source, LoopNest):
+        collapsed = collapse(source, depth)
+    elif isinstance(source, CollapsedLoop):
+        collapsed = source
+    else:
+        raise PlanError(f"cannot build a plan from {type(source).__name__}")
+
+    if kernel_name is None and iteration_op is None and chunk_op is None:
+        raise PlanError("a plan needs a kernel or at least one of iteration_op/chunk_op")
+    if kernel_name is None and iteration_op is None and recovery != "compiled":
+        # workers only take the chunk_op fast path when a compiled batch
+        # recovery exists; without an iteration_op to fall back on, a
+        # symbolic-recovery plan could never execute — fail at build time
+        raise PlanError(
+            "a chunk_op-only plan requires recovery='compiled' "
+            "(or provide an iteration_op fallback)"
+        )
+    for op in (iteration_op, chunk_op):
+        if kernel_name is None and op is not None:
+            try:
+                pickle.dumps(op)
+            except Exception as error:
+                raise PlanError(
+                    f"operation {op!r} is not picklable; use a module-level function "
+                    f"or a registered kernel ({error})"
+                ) from error
+
+    return ExecutionPlan(
+        plan_id=f"plan-{next(_PLAN_IDS)}",
+        collapsed=collapsed,
+        parameter_values=dict(parameter_values),
+        schedule=spec,
+        kernel_name=kernel_name,
+        iteration_op=iteration_op,
+        chunk_op=chunk_op,
+        recovery=recovery,
+        oversubscribe=oversubscribe,
+        cost_model=cost_model,
+    )

@@ -1,0 +1,243 @@
+"""The high-level runtime API: ``collapse_and_run`` with plan caching.
+
+A :class:`RuntimeSession` owns one persistent :class:`RuntimeEngine` plus a
+cache of :class:`ExecutionPlan` objects keyed by (nest structure, collapse
+depth, parameter values, schedule, recovery back end) — the same structural
+key idea as the ``collapse()`` memo cache, one level up.  Asking the session
+twice for the same kernel at the same size re-uses the plan, the workers'
+compiled state and (for registry kernels run without caller data) the
+shared-memory buffers, so a steady-state run is nothing but chunk dispatch.
+
+:func:`collapse_and_run` is the one-call version::
+
+    from repro.runtime import collapse_and_run
+
+    data = collapse_and_run("utma", {"N": 512}, workers=4, schedule="adaptive")
+
+The module-level default session behind it starts its engine lazily on the
+first call and is torn down at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..openmp.schedule import ScheduleSpec
+from .engine import EngineRunResult, RuntimeEngine
+from .plan import ExecutionPlan, build_plan
+from .shm import SharedBuffers
+
+
+def _structural_key(plan_source, parameter_values, spec, recovery, depth) -> tuple:
+    """A hashable identity for plan caching (mirrors the collapse cache key)."""
+    from ..ir import LoopNest
+    from ..kernels import Kernel
+
+    if isinstance(plan_source, str):
+        source_key: tuple = ("kernel", plan_source)
+    elif isinstance(plan_source, Kernel):
+        source_key = ("kernel", plan_source.name)
+    elif isinstance(plan_source, LoopNest):
+        source_key = (
+            "nest",
+            plan_source.name,
+            tuple((l.iterator, l.lower, l.upper) for l in plan_source.loops),
+            tuple(plan_source.parameters),
+        )
+    else:
+        # CollapsedLoop: identity is safe *because* the cache pins it — the
+        # cached plan holds the collapsed loop, so its id cannot be recycled
+        # while the entry (and thus this key) exists
+        source_key = ("object", id(plan_source))
+    return (
+        source_key,
+        depth,
+        tuple(sorted((k, int(v)) for k, v in parameter_values.items())),
+        str(spec),
+        recovery,
+    )
+
+
+class RuntimeSession:
+    """Plan cache + persistent engine + (optionally) persistent buffers."""
+
+    def __init__(self, workers: int = 2, start_method: Optional[str] = None):
+        self.engine = RuntimeEngine(workers=workers, start_method=start_method)
+        self._plans: Dict[tuple, ExecutionPlan] = {}
+        self._buffers: Dict[str, SharedBuffers] = {}  # plan_id -> session-owned buffers
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # plans
+    # ------------------------------------------------------------------ #
+    def plan_for(
+        self,
+        source,
+        parameter_values: Mapping[str, int],
+        schedule: object = "adaptive",
+        depth: Optional[int] = None,
+        recovery: str = "compiled",
+        **plan_kwargs,
+    ) -> ExecutionPlan:
+        """The cached plan of (source, parameters, schedule); built on miss."""
+        spec = ScheduleSpec.parse(schedule)
+        key = _structural_key(source, parameter_values, spec, recovery, depth) + (
+            tuple(sorted(
+                # module + qualname: two same-named functions from different
+                # modules must not share a cached plan
+                (
+                    name,
+                    f"{getattr(value, '__module__', '')}.{value.__qualname__}"
+                    if hasattr(value, "__qualname__")
+                    else repr(value),
+                )
+                for name, value in plan_kwargs.items()
+            )),
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                plan = build_plan(
+                    source, parameter_values, schedule=spec, depth=depth,
+                    recovery=recovery, **plan_kwargs,
+                )
+                self._plans[key] = plan
+        return plan
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"plans": len(self._plans), "buffers": len(self._buffers)}
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        source,
+        parameter_values: Mapping[str, int],
+        data=None,
+        schedule: object = "adaptive",
+        depth: Optional[int] = None,
+        recovery: str = "compiled",
+        fresh_data: bool = True,
+        **plan_kwargs,
+    ):
+        """Collapse (cached), plan (cached), execute on the persistent engine.
+
+        For a kernel source the return value is the kernel's result
+        ``DataDict`` (private copies — safe to keep).  ``data`` seeds the
+        shared buffers; with ``data=None`` the kernel's ``make_data`` output
+        is used, the session keeps the buffers attached across calls, and
+        ``fresh_data=True`` (the default) re-initialises them in place each
+        run — steady-state runs allocate nothing.
+
+        Nest/collapsed-loop sources need their operations passed through
+        ``plan_kwargs`` (``iteration_op=``/``chunk_op=``, module-level
+        functions); they run against the caller's shared ``data`` buffers
+        if given, and the return value is the :class:`EngineRunResult`.
+        """
+        from ..kernels import get_kernel
+
+        plan = self.plan_for(source, parameter_values, schedule, depth, recovery, **plan_kwargs)
+        kernel = None
+        if plan.kernel_name is not None:
+            kernel = get_kernel(plan.kernel_name)
+
+        if kernel is None:
+            if data is None:
+                return self.engine.execute(plan)
+            # nest sources run over the caller's arrays: stage them in shared
+            # memory, execute, and copy the mutations back in place
+            with SharedBuffers.create(dict(data)) as buffers:
+                result = self.engine.execute(plan, buffers=buffers)
+                for name, value in buffers.arrays.items():
+                    data[name][...] = value
+                self.engine.forget(plan)
+            return result
+
+        if data is not None:
+            with SharedBuffers.create(dict(data)) as buffers:
+                self.engine.execute(plan, buffers=buffers)
+                result = buffers.snapshot()
+                # workers must not keep mappings of segments about to vanish
+                self.engine.forget(plan)
+            return result
+
+        buffers = self._buffers.get(plan.plan_id)
+        if buffers is None or buffers.closed:
+            buffers = SharedBuffers.create(kernel.make_data(parameter_values))
+            self._buffers[plan.plan_id] = buffers
+        elif fresh_data:
+            buffers.fill_from(kernel.make_data(parameter_values))
+        self.engine.execute(plan, buffers=buffers)
+        return buffers.snapshot()
+
+    def execute(self, plan: ExecutionPlan, buffers: Optional[SharedBuffers] = None) -> EngineRunResult:
+        """Low-level pass-through for callers managing plans/buffers themselves."""
+        return self.engine.execute(plan, buffers=buffers)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the engine down and unlink every session-owned segment."""
+        self.engine.shutdown()
+        for buffers in self._buffers.values():
+            buffers.close()
+        self._buffers.clear()
+        self._plans.clear()
+
+    def __enter__(self) -> "RuntimeSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# module-level default session
+# ---------------------------------------------------------------------- #
+_DEFAULT: Optional[RuntimeSession] = None
+_DEFAULT_LOCK = threading.Lock()
+
+
+def default_session(workers: int = 2) -> RuntimeSession:
+    """The lazily started process-wide session (``workers`` applies on first use)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is None:
+            _DEFAULT = RuntimeSession(workers=workers)
+            atexit.register(close_default_session)
+    return _DEFAULT
+
+
+def close_default_session() -> None:
+    """Tear down the default session (idempotent; re-created on next use)."""
+    global _DEFAULT
+    with _DEFAULT_LOCK:
+        if _DEFAULT is not None:
+            _DEFAULT.close()
+            _DEFAULT = None
+
+
+def collapse_and_run(
+    source,
+    parameter_values: Mapping[str, int],
+    workers: int = 2,
+    schedule: object = "adaptive",
+    data=None,
+    session: Optional[RuntimeSession] = None,
+    **run_kwargs,
+):
+    """One call from kernel to result, through the persistent runtime.
+
+    ``source`` is a registered kernel name (``"utma"``), a
+    :class:`~repro.kernels.Kernel`, a nest or a collapsed loop; see
+    :meth:`RuntimeSession.run`.  Without an explicit ``session`` the default
+    session is used (its engine starts on the first call and persists, so
+    repeated calls pay no pool start-up; ``workers`` only takes effect on
+    the call that creates it).
+    """
+    session = session or default_session(workers=workers)
+    return session.run(source, parameter_values, data=data, schedule=schedule, **run_kwargs)

@@ -1,0 +1,197 @@
+"""Shared-memory NumPy buffers: kernel arrays mapped zero-copy into workers.
+
+The per-call ``multiprocessing`` path pickles every input array into each
+worker and pickles the results back — for a 512x512 float64 kernel that is
+megabytes of copying per call, which swamps the per-chunk compute the
+engine dispatches.  This module replaces the copies with
+``multiprocessing.shared_memory``: the parent allocates one segment per
+kernel array, workers attach the same segments by name and build NumPy
+views onto them, and every chunk mutates the one true copy in place.
+Because the collapsed loops carry no dependence, distinct chunks touch
+disjoint elements and the in-place writes need no locking.
+
+Ownership is explicit and asymmetric:
+
+* the *owner* (:meth:`SharedBuffers.create`) allocates the segments, keeps
+  them alive for the duration of the runs, and is the only side that may
+  :meth:`unlink` them;
+* *attachments* (:meth:`SharedBuffers.attach`, called in workers from a
+  picklable tuple of :class:`SharedArraySpec`) open existing segments
+  without copying and only ever :meth:`close` their own mapping.
+
+On the ``resource_tracker``: every engine worker is a child of the owner
+and therefore shares the owner's tracker process, where registration is
+idempotent per segment — so worker attachments are harmless and the
+owner's single ``unlink`` balances the books exactly.  (Pre-3.13
+``shared_memory`` only misbehaves when *unrelated* processes attach, each
+with its own tracker; the engine never does that.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+
+class SharedBufferError(RuntimeError):
+    """Raised for operations on closed buffers or failed attachments."""
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything a worker needs to re-map one array: segment + dtype + shape.
+
+    Plain strings and ints only, so a tuple of specs travels through a task
+    queue for free (no array bytes are ever pickled).
+    """
+
+    name: str                 #: logical array name (the ``DataDict`` key)
+    segment: str              #: shared-memory segment name to attach
+    shape: Tuple[int, ...]
+    dtype: str                #: ``np.dtype(...).str``, round-trip safe
+
+
+class SharedBuffers:
+    """A set of named NumPy arrays living in shared-memory segments.
+
+    ``buffers.arrays`` is a ``DataDict``-shaped mapping of views onto the
+    segments; pass it wherever a kernel expects its data dictionary.  Use as
+    a context manager on the owner side for leak-free cleanup::
+
+        with SharedBuffers.create(kernel.make_data(values)) as buffers:
+            engine.execute(plan, buffers=buffers)
+            result = buffers.snapshot()
+    """
+
+    def __init__(
+        self,
+        segments: Dict[str, shared_memory.SharedMemory],
+        arrays: Dict[str, np.ndarray],
+        specs: Tuple[SharedArraySpec, ...],
+        owner: bool,
+    ):
+        self._segments = segments
+        self.arrays = arrays
+        self._specs = specs
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, data: Mapping[str, np.ndarray]) -> "SharedBuffers":
+        """Allocate one segment per array and copy the initial values in.
+
+        This is the only copy the data makes; every later run — in this
+        process or any worker — operates on the segments directly.
+        """
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        arrays: Dict[str, np.ndarray] = {}
+        specs = []
+        try:
+            for name, value in data.items():
+                source = np.ascontiguousarray(value)
+                segment = shared_memory.SharedMemory(create=True, size=max(1, source.nbytes))
+                view = np.ndarray(source.shape, dtype=source.dtype, buffer=segment.buf)
+                view[...] = source
+                segments[name] = segment
+                arrays[name] = view
+                specs.append(
+                    SharedArraySpec(
+                        name=name,
+                        segment=segment.name,
+                        shape=tuple(source.shape),
+                        dtype=np.dtype(source.dtype).str,
+                    )
+                )
+        except Exception:
+            for segment in segments.values():
+                segment.close()
+                segment.unlink()
+            raise
+        return cls(segments=segments, arrays=arrays, specs=tuple(specs), owner=True)
+
+    @classmethod
+    def attach(cls, specs: Tuple[SharedArraySpec, ...]) -> "SharedBuffers":
+        """Map existing segments (worker side); zero bytes are copied."""
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for spec in specs:
+                segment = shared_memory.SharedMemory(name=spec.segment)
+                segments[spec.name] = segment
+                arrays[spec.name] = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+                )
+        except Exception as error:
+            for segment in segments.values():
+                segment.close()
+            raise SharedBufferError(f"cannot attach shared buffers: {error}") from error
+        return cls(segments=segments, arrays=arrays, specs=tuple(specs), owner=False)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def specs(self) -> Tuple[SharedArraySpec, ...]:
+        """The picklable description workers attach from."""
+        return self._specs
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """Private copies of every array (results that outlive the segments)."""
+        if self._closed:
+            raise SharedBufferError("buffers are closed")
+        return {name: np.copy(view) for name, view in self.arrays.items()}
+
+    def fill_from(self, data: Mapping[str, np.ndarray]) -> None:
+        """Overwrite the segments in place (re-initialise between runs)."""
+        if self._closed:
+            raise SharedBufferError("buffers are closed")
+        for name, value in data.items():
+            self.arrays[name][...] = value
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release this process's mappings (and, for the owner, the segments).
+
+        Owner close also unlinks: a ``create`` paired with a single ``close``
+        leaks nothing.  Attachments never unlink — the owner's segments stay
+        valid for everyone else.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays.clear()  # views must die before the mmaps can close
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - an outside view survives
+                pass
+            if self.owner:
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self._segments.clear()
+
+    def __enter__(self) -> "SharedBuffers":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - safety net, normal path is close()
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.openmp import Chunk, run_chunks_in_processes, run_serial
+from repro.openmp import Chunk, ScheduleKind, ScheduleSpec, run_chunks_in_processes, run_serial
 from repro.openmp.executor import ParallelRunResult
 
 
@@ -39,9 +39,21 @@ class TestSerial:
         assert result.workers == 1
         assert result.elapsed_seconds >= 0
 
+    def test_run_serial_reports_a_real_single_chunk_schedule(self):
+        # the serial baseline is a static one-thread schedule, and says so:
+        # one chunk covering [1, total] on thread 0, schedule recorded —
+        # keeping speedup math consistent with the parallel runners
+        n = 10
+        total = n * (n - 1) // 2
+        result = run_serial(triangular_chunk_sum, total, {"N": n})
+        assert result.schedule == ScheduleSpec(ScheduleKind.STATIC)
+        assert result.chunks == (Chunk(1, total, 0),)
+
     def test_run_serial_empty_range(self):
         result = run_serial(triangular_chunk_sum, 0, {"N": 1})
         assert result.results == ()
+        assert result.chunks == ()
+        assert result.schedule.kind is ScheduleKind.STATIC
 
 
 class TestProcesses:
@@ -73,3 +85,19 @@ class TestProcesses:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             run_chunks_in_processes(triangular_chunk_sum, 10, {"N": 5}, workers=0)
+
+    def test_schedule_string_cuts_the_chunks(self):
+        n = 12
+        total = n * (n - 1) // 2
+        result = run_chunks_in_processes(
+            triangular_chunk_sum, total, {"N": n}, workers=2, schedule="dynamic,25"
+        )
+        assert sum(result.results) == expected_sum(n)
+        assert [chunk.size for chunk in result.chunks] == [25, 25, 16]
+        assert result.schedule == ScheduleSpec(ScheduleKind.DYNAMIC, 25)
+
+    def test_unknown_schedule_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            run_chunks_in_processes(
+                triangular_chunk_sum, 10, {"N": 5}, workers=2, schedule="roundrobin"
+            )

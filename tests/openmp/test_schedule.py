@@ -114,3 +114,72 @@ def test_property_every_schedule_partitions_exactly(total, threads, chunk):
         guided_chunks(total, threads, chunk),
     ):
         assert covered_iterations(chunks) == list(range(1, total + 1))
+
+
+class TestFromString:
+    """ScheduleKind.from_string / ScheduleSpec.parse — the one shared parser."""
+
+    def test_plain_kinds(self):
+        from repro.openmp import ScheduleKind
+
+        assert ScheduleKind.from_string("static") is ScheduleKind.STATIC
+        assert ScheduleKind.from_string("dynamic") is ScheduleKind.DYNAMIC
+        assert ScheduleKind.from_string("guided") is ScheduleKind.GUIDED
+        assert ScheduleKind.from_string("adaptive") is ScheduleKind.ADAPTIVE
+        assert ScheduleKind.from_string("static_chunked") is ScheduleKind.STATIC_CHUNKED
+
+    def test_case_whitespace_and_enum_passthrough(self):
+        from repro.openmp import ScheduleKind
+
+        assert ScheduleKind.from_string("  Dynamic ") is ScheduleKind.DYNAMIC
+        assert ScheduleKind.from_string(ScheduleKind.GUIDED) is ScheduleKind.GUIDED
+
+    def test_chunk_suffix_promotes_static(self):
+        from repro.openmp import ScheduleKind, ScheduleSpec
+
+        # OpenMP semantics: schedule(static, c) is the chunked static family
+        assert ScheduleKind.from_string("static,16") is ScheduleKind.STATIC_CHUNKED
+        spec = ScheduleSpec.parse("dynamic, 8")
+        assert spec.kind is ScheduleKind.DYNAMIC
+        assert spec.chunk_size == 8
+
+    def test_round_trip_through_str(self):
+        from repro.openmp import ScheduleSpec
+
+        for text in ("static", "dynamic,4", "guided,2", "adaptive"):
+            assert str(ScheduleSpec.parse(text)) == text
+
+    def test_unknown_names_and_bad_chunks_are_rejected(self):
+        from repro.openmp import ScheduleKind, ScheduleSpec
+
+        with pytest.raises(ValueError, match="unknown schedule"):
+            ScheduleKind.from_string("roundrobin")
+        with pytest.raises(ValueError, match="invalid chunk"):
+            ScheduleSpec.parse("dynamic,many")
+        with pytest.raises(ValueError, match="at least 1"):
+            ScheduleSpec.parse("dynamic,0")
+
+    def test_to_openmp_spellings(self):
+        from repro.openmp import ScheduleKind, ScheduleSpec
+
+        assert ScheduleSpec.parse("static").to_openmp() == "static"
+        assert ScheduleSpec.parse("static,8").to_openmp() == "static, 8"
+        assert ScheduleSpec.parse("dynamic,4").to_openmp() == "dynamic, 4"
+        with pytest.raises(ValueError, match="no OpenMP spelling"):
+            ScheduleKind.ADAPTIVE.to_openmp()
+
+
+class TestScheduleChunksDispatch:
+    def test_dispatches_each_family(self):
+        from repro.openmp import schedule_chunks
+
+        assert [c.size for c in schedule_chunks("static", 12, 3)] == [4, 4, 4]
+        assert [c.size for c in schedule_chunks("static,5", 12, 3)] == [5, 5, 2]
+        assert [c.size for c in schedule_chunks("dynamic,4", 10, 2)] == [4, 4, 2]
+        assert covered_iterations(schedule_chunks("guided,2", 57, 3)) == list(range(1, 58))
+
+    def test_adaptive_needs_the_runtime(self):
+        from repro.openmp import schedule_chunks
+
+        with pytest.raises(ValueError, match="cost model"):
+            schedule_chunks("adaptive", 100, 4)

@@ -1,0 +1,221 @@
+"""Integration tests for the persistent engine and the session layer.
+
+One module-scoped session (2 workers) backs every test: starting pools is
+the expensive part, and sharing one is exactly how the engine is meant to
+be used.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel, run_collapsed_engine, run_original, verify_kernel
+from repro.openmp import Chunk, ScheduleKind, run_chunks_in_processes
+from repro.runtime import (
+    EngineError,
+    RuntimeSession,
+    SharedBuffers,
+    build_plan,
+    collapse_and_run,
+)
+
+VALUES = {"N": 24}
+
+
+@pytest.fixture(scope="module")
+def session():
+    with RuntimeSession(workers=2) as session:
+        yield session
+
+
+def failing_op(data, indices, values):
+    raise RuntimeError("deliberate kernel failure")
+
+
+def chunk_sum_worker(first_pc: int, last_pc: int, parameter_values) -> int:
+    """Classic executor-style worker, engine-dispatchable (module-level)."""
+    return sum(range(first_pc, last_pc + 1))
+
+
+def mark_visit_op(data, indices, values):
+    data["visits"][indices] += 1.0
+
+
+class TestEngineCorrectness:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided", "adaptive"])
+    def test_utma_matches_run_original_under_every_policy(self, session, schedule):
+        expected = run_original(get_kernel("utma"), VALUES)
+        result = session.run("utma", VALUES, schedule=schedule)
+        assert np.array_equal(result["c"], expected["c"])
+
+    def test_ltmp_fallback_iteration_path_matches(self, session):
+        # ltmp has no chunk_op: workers walk the per-iteration fallback
+        expected = run_original(get_kernel("ltmp"), {"N": 16})
+        result = session.run("ltmp", {"N": 16}, schedule="adaptive")
+        assert np.allclose(result["c"], expected["c"])
+
+    def test_run_collapsed_engine_with_caller_data(self, session):
+        kernel = get_kernel("utma")
+        data = kernel.make_data(VALUES)
+        expected = run_original(kernel, VALUES, data)
+        result = run_collapsed_engine(kernel, VALUES, data, session=session)
+        assert np.array_equal(result["c"], expected["c"])
+        assert np.all(data["c"] == 0)  # caller's arrays are never mutated
+
+    def test_verify_kernel_includes_the_engine_path(self, session):
+        assert verify_kernel(get_kernel("utma"), VALUES, session=session)
+
+
+class TestEngineRunResult:
+    def test_counts_cover_every_iteration_exactly_once(self, session):
+        kernel = get_kernel("utma")
+        plan = session.plan_for("utma", VALUES, schedule="adaptive")
+        with SharedBuffers.create(kernel.make_data(VALUES)) as buffers:
+            result = session.execute(plan, buffers=buffers)
+        session.engine.forget(plan)
+        assert sum(result.results) == plan.total_iterations
+        assert result.iterations == plan.total_iterations
+        assert len(result.assignments) == len(result.chunks)
+        assert len(result.chunk_seconds) == len(result.chunks)
+        assert all(worker in (0, 1) for worker in result.assignments)
+        assert result.schedule.kind is ScheduleKind.ADAPTIVE
+
+    def test_static_chunks_run_on_their_assigned_workers(self, session):
+        kernel = get_kernel("utma")
+        plan = session.plan_for("utma", VALUES, schedule="static")
+        with SharedBuffers.create(kernel.make_data(VALUES)) as buffers:
+            result = session.execute(plan, buffers=buffers)
+        session.engine.forget(plan)
+        for chunk, worker in zip(result.chunks, result.assignments):
+            assert worker == chunk.thread % session.engine.workers
+
+    def test_empty_domain_executes_without_dispatch(self, session):
+        plan = build_plan("utma", {"N": 0}, schedule="static")
+        result = session.engine.execute(plan)
+        assert result.results == ()
+        assert result.chunks == ()
+
+
+class TestErrorHandling:
+    def test_worker_failure_raises_and_pool_survives(self, session):
+        from repro.ir import Loop, LoopNest
+
+        nest = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", "i", "N")], parameters=["N"], name="boom"
+        )
+        plan = build_plan(nest, {"N": 6}, schedule="static", iteration_op=failing_op)
+        with pytest.raises(EngineError, match="deliberate kernel failure"):
+            session.engine.execute(plan)
+        session.engine.forget(plan)
+        # the pool must still serve good plans afterwards
+        expected = run_original(get_kernel("utma"), VALUES)
+        assert np.array_equal(session.run("utma", VALUES)["c"], expected["c"])
+
+    def test_workers_must_be_positive(self):
+        from repro.runtime import RuntimeEngine
+
+        with pytest.raises(EngineError):
+            RuntimeEngine(workers=0)
+
+    def test_unpicklable_worker_is_rejected_eagerly(self, session):
+        # a closure would die in the queue feeder thread and hang the parent;
+        # the engine refuses it up front instead
+        bound = 7
+        with pytest.raises(EngineError, match="picklable"):
+            session.engine.map_chunks(lambda f, l, v: bound, [Chunk(1, 5)], {})
+
+    def test_dead_worker_is_detected_fast_and_pool_restarts(self):
+        from repro.runtime import RuntimeEngine
+
+        with RuntimeEngine(workers=2, task_timeout=60.0) as engine:
+            engine._processes[0].terminate()
+            engine._processes[0].join()
+            with pytest.raises(EngineError, match="died"):
+                engine.map_chunks(chunk_sum_worker, [Chunk(1, 10)], {})
+            # the broken pool was torn down; the next call starts a fresh one
+            result = engine.map_chunks(chunk_sum_worker, [Chunk(1, 10)], {})
+            assert result.results == (55,)
+
+
+class TestExecutorRewiring:
+    def test_map_chunks_matches_fresh_pool_results(self, session):
+        total = 200
+        chunks = [Chunk(1, 80, 0), Chunk(81, 150, 1), Chunk(151, total, 0)]
+        through_engine = run_chunks_in_processes(
+            chunk_sum_worker, total, {}, workers=2, chunks=chunks, engine=session.engine
+        )
+        fresh_pool = run_chunks_in_processes(chunk_sum_worker, total, {}, workers=2, chunks=chunks)
+        assert through_engine.results == fresh_pool.results
+        assert sum(through_engine.results) == total * (total + 1) // 2
+
+    def test_schedule_strings_cut_the_chunks(self, session):
+        result = run_chunks_in_processes(
+            chunk_sum_worker, 100, {}, workers=2, schedule="dynamic,30", engine=session.engine
+        )
+        assert [chunk.size for chunk in result.chunks] == [30, 30, 30, 10]
+        assert result.schedule.chunk_size == 30
+
+
+class TestAnalysisRewiring:
+    def test_measure_execution_throughput_modes(self, session):
+        from repro.analysis import measure_execution_throughput
+
+        kernel = get_kernel("utma")
+        rows = {
+            mode: measure_execution_throughput(
+                kernel, VALUES, mode=mode, workers=2, session=session
+            )
+            for mode in ("serial", "inline", "engine")
+        }
+        total = kernel.collapsed().total_iterations(VALUES)
+        for mode, row in rows.items():
+            assert row.iterations == total, mode
+            assert row.elapsed_seconds > 0, mode
+            assert row.iterations_per_second > 0, mode
+        assert rows["serial"].workers == 1
+        assert rows["engine"].workers == 2
+
+    def test_unknown_mode_is_rejected(self):
+        from repro.analysis import measure_execution_throughput
+
+        with pytest.raises(ValueError, match="unknown mode"):
+            measure_execution_throughput(get_kernel("utma"), VALUES, mode="threads")
+
+
+class TestSession:
+    def test_plans_are_cached_by_structure(self, session):
+        first = session.plan_for("utma", VALUES, schedule="adaptive")
+        second = session.plan_for("utma", VALUES, schedule="adaptive")
+        assert first is second
+        different = session.plan_for("utma", {"N": 25}, schedule="adaptive")
+        assert different is not first
+
+    def test_collapse_and_run_with_explicit_session(self, session):
+        expected = run_original(get_kernel("utma"), VALUES)
+        result = collapse_and_run("utma", VALUES, session=session)
+        assert np.array_equal(result["c"], expected["c"])
+
+    def test_collapse_and_run_accepts_nest_sources(self, session):
+        from repro.ir import Loop, LoopNest, enumerate_iterations
+
+        nest = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", "i", "N")], parameters=["N"], name="visit2"
+        )
+        values = {"N": 10}
+        data = {"visits": np.zeros((10, 12))}
+        result = collapse_and_run(
+            nest, values, session=session, schedule="static", iteration_op=mark_visit_op, data=data
+        )
+        expected = np.zeros((10, 12))
+        for indices in enumerate_iterations(nest, values):
+            expected[indices] += 1.0
+        # nest sources mutate the caller's arrays in place and report the run
+        assert np.array_equal(data["visits"], expected)
+        assert sum(result.results) == int(expected.sum())
+
+    def test_repeated_runs_reuse_buffers_and_stay_correct(self, session):
+        expected = run_original(get_kernel("utma"), VALUES)
+        before = session.cache_info()["buffers"]
+        for _ in range(3):
+            result = session.run("utma", VALUES, schedule="static")
+            assert np.array_equal(result["c"], expected["c"])
+        assert session.cache_info()["buffers"] == max(before, 1)

@@ -1,0 +1,149 @@
+"""Unit tests for execution plans and the cost-model-driven adaptive chunker."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ir import Loop, LoopNest
+from repro.kernels import get_kernel
+from repro.openmp import ScheduleKind, ScheduleSpec
+from repro.runtime import ExecutionPlan, PlanError, adaptive_chunks, build_plan, per_iteration_work
+
+
+def partition_is_exact(chunks, total):
+    if total == 0:
+        return chunks == []
+    if not chunks or chunks[0].first != 1 or chunks[-1].last != total:
+        return False
+    return all(a.last + 1 == b.first for a, b in zip(chunks, chunks[1:]))
+
+
+def module_level_op(data, indices, values):
+    """Picklable stand-in operation for nest-based plans."""
+
+
+class TestBuildPlan:
+    def test_from_kernel_name(self):
+        plan = build_plan("utma", {"N": 16})
+        assert plan.kernel_name == "utma"
+        assert plan.schedule.kind is ScheduleKind.ADAPTIVE
+        assert plan.total_iterations == 16 * 17 // 2
+
+    def test_from_kernel_object_and_nest(self):
+        kernel = get_kernel("ltmp")
+        plan = build_plan(kernel, {"N": 8}, schedule="static")
+        assert plan.kernel_name == "ltmp"
+        nest = LoopNest([Loop.make("i", 0, "N"), Loop.make("j", "i", "N")], parameters=["N"], name="t")
+        nest_plan = build_plan(nest, {"N": 6}, schedule="dynamic,2", iteration_op=module_level_op)
+        assert nest_plan.kernel_name is None
+        assert nest_plan.schedule == ScheduleSpec(ScheduleKind.DYNAMIC, 2)
+
+    def test_plans_get_distinct_ids(self):
+        first = build_plan("utma", {"N": 8})
+        second = build_plan("utma", {"N": 8})
+        assert first.plan_id != second.plan_id
+
+    def test_nest_without_ops_is_rejected(self):
+        nest = LoopNest([Loop.make("i", 0, "N")], parameters=["N"], name="bare")
+        with pytest.raises(PlanError, match="iteration_op"):
+            build_plan(nest, {"N": 4})
+
+    def test_unpicklable_op_is_rejected(self):
+        nest = LoopNest([Loop.make("i", 0, "N")], parameters=["N"], name="bare")
+        with pytest.raises(PlanError, match="picklable"):
+            build_plan(nest, {"N": 4}, iteration_op=lambda d, i, v: None)
+
+    def test_chunk_op_only_requires_compiled_recovery(self):
+        nest = LoopNest([Loop.make("i", 0, "N")], parameters=["N"], name="bare")
+        with pytest.raises(PlanError, match="compiled"):
+            build_plan(nest, {"N": 4}, chunk_op=module_level_op, recovery="symbolic")
+        # with an iteration_op fallback the symbolic back end is fine
+        plan = build_plan(
+            nest, {"N": 4}, iteration_op=module_level_op,
+            chunk_op=module_level_op, recovery="symbolic",
+        )
+        assert plan.recovery == "symbolic"
+
+    def test_non_executable_kernel_is_rejected(self):
+        from repro.kernels import all_kernels
+
+        inert = [k for k in all_kernels() if not k.is_executable]
+        if not inert:
+            pytest.skip("every registered kernel is executable")
+        with pytest.raises(PlanError, match="executable"):
+            build_plan(inert[0], dict(inert[0].bench_parameters))
+
+    def test_payload_is_picklable_and_registry_backed(self):
+        plan = build_plan("utma", {"N": 10})
+        payload = pickle.loads(pickle.dumps(plan.payload()))
+        assert payload["kernel_name"] == "utma"
+        assert payload["iteration_op"] is None  # workers resolve from the registry
+        assert payload["collapsed"].total_iterations({"N": 10}) == plan.total_iterations
+
+
+class TestChunks:
+    @pytest.mark.parametrize("schedule", ["static", "static,9", "dynamic,16", "guided", "adaptive"])
+    def test_every_policy_partitions_exactly(self, schedule):
+        plan = build_plan("utma", {"N": 20}, schedule=schedule)
+        chunks = plan.chunks(workers=3)
+        assert partition_is_exact(chunks, plan.total_iterations)
+
+    def test_dynamic_default_chunk_is_oversubscribed_not_unit(self):
+        plan = build_plan("utma", {"N": 64}, schedule="dynamic")
+        chunks = plan.chunks(workers=4)
+        assert partition_is_exact(chunks, plan.total_iterations)
+        # OpenMP's default chunk of 1 would mean one hand-out per iteration;
+        # the engine default stays within ~workers * oversubscribe hand-outs
+        assert len(chunks) <= 4 * plan.oversubscribe + 1
+
+    def test_static_chunks_carry_threads_adaptive_chunks_do_not(self):
+        plan = build_plan("utma", {"N": 20}, schedule="static")
+        assert all(chunk.thread is not None for chunk in plan.chunks(2))
+        adaptive = build_plan("utma", {"N": 20}, schedule="adaptive")
+        assert all(chunk.thread is None for chunk in adaptive.chunks(2))
+
+
+class TestAdaptive:
+    def test_constant_work_gives_near_equal_chunks(self):
+        collapsed = get_kernel("utma").collapsed()
+        chunks = adaptive_chunks(collapsed, {"N": 32}, workers=4)
+        sizes = [chunk.size for chunk in chunks]
+        assert partition_is_exact(chunks, collapsed.total_iterations({"N": 32}))
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_varying_work_gives_work_weighted_chunks(self):
+        # ltmp keeps a non-collapsed k loop: late pc values (large i) are much
+        # heavier, so equal-work chunks must get shorter towards the end
+        kernel = get_kernel("ltmp")
+        collapsed = kernel.collapsed()
+        values = {"N": 32}
+        chunks = adaptive_chunks(collapsed, values, workers=4, cost_model=kernel.cost_model())
+        assert partition_is_exact(chunks, collapsed.total_iterations(values))
+        sizes = [chunk.size for chunk in chunks]
+        assert sizes[0] > sizes[-1]
+        work = per_iteration_work(collapsed, values, kernel.cost_model())
+        per_chunk = [float(work[c.first - 1 : c.last].sum()) for c in chunks]
+        # every chunk's estimated work is within a small factor of the mean
+        mean = sum(per_chunk) / len(per_chunk)
+        assert max(per_chunk) <= 2.5 * mean
+
+    def test_per_iteration_work_matches_cost_model_pointwise(self):
+        kernel = get_kernel("ltmp")
+        collapsed = kernel.collapsed()
+        values = {"N": 12}
+        model = kernel.cost_model()
+        work = per_iteration_work(collapsed, values, model)
+        assert work.shape == (collapsed.total_iterations(values),)
+        for pc in (1, 7, work.shape[0]):
+            indices = collapsed.recover_indices(pc, values)
+            assert work[pc - 1] == pytest.approx(model.iteration_work(indices, values))
+
+    def test_empty_domain_gives_no_chunks(self):
+        collapsed = get_kernel("utma").collapsed()
+        assert adaptive_chunks(collapsed, {"N": 0}, workers=4) == []
+
+    def test_chunk_count_tracks_oversubscription(self):
+        collapsed = get_kernel("utma").collapsed()
+        chunks = adaptive_chunks(collapsed, {"N": 64}, workers=2, oversubscribe=6)
+        assert len(chunks) == pytest.approx(12, abs=2)

@@ -1,0 +1,129 @@
+"""Unit tests for the shared-memory buffer lifecycle (create/attach/cleanup)."""
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+from repro.runtime import SharedArraySpec, SharedBufferError, SharedBuffers
+
+
+def make_data():
+    return {
+        "a": np.arange(12, dtype=np.float64).reshape(3, 4),
+        "flags": np.array([1, 0, 1], dtype=np.int64),
+    }
+
+
+class TestCreate:
+    def test_arrays_carry_the_initial_values(self):
+        with SharedBuffers.create(make_data()) as buffers:
+            assert np.array_equal(buffers.arrays["a"], make_data()["a"])
+            assert buffers.arrays["flags"].dtype == np.int64
+            assert buffers.owner
+
+    def test_specs_describe_every_array(self):
+        with SharedBuffers.create(make_data()) as buffers:
+            by_name = {spec.name: spec for spec in buffers.specs}
+            assert by_name.keys() == {"a", "flags"}
+            assert by_name["a"].shape == (3, 4)
+            assert np.dtype(by_name["a"].dtype) == np.float64
+            assert isinstance(by_name["a"], SharedArraySpec)
+
+    def test_non_contiguous_input_is_copied_in(self):
+        strided = np.arange(24, dtype=np.float64).reshape(4, 6)[:, ::2]
+        with SharedBuffers.create({"s": strided}) as buffers:
+            assert np.array_equal(buffers.arrays["s"], strided)
+
+    def test_empty_array_round_trips(self):
+        with SharedBuffers.create({"e": np.zeros((0, 3))}) as buffers:
+            assert buffers.arrays["e"].shape == (0, 3)
+            assert buffers.snapshot()["e"].size == 0
+
+
+class TestAttach:
+    def test_attachment_sees_owner_writes_and_vice_versa(self):
+        with SharedBuffers.create(make_data()) as owner:
+            attached = SharedBuffers.attach(owner.specs)
+            try:
+                assert not attached.owner
+                owner.arrays["a"][0, 0] = 111.0
+                assert attached.arrays["a"][0, 0] == 111.0
+                attached.arrays["a"][2, 3] = -5.0
+                assert owner.arrays["a"][2, 3] == -5.0
+            finally:
+                attached.close()
+
+    def test_attachment_close_keeps_segments_alive(self):
+        with SharedBuffers.create(make_data()) as owner:
+            attached = SharedBuffers.attach(owner.specs)
+            attached.close()
+            # the owner still reads its data: attachments never unlink
+            assert owner.arrays["a"][1, 1] == make_data()["a"][1, 1]
+
+    def test_attaching_missing_segment_raises(self):
+        bogus = (SharedArraySpec(name="x", segment="no_such_segment_xyz", shape=(2,), dtype="<f8"),)
+        with pytest.raises(SharedBufferError):
+            SharedBuffers.attach(bogus)
+
+
+class TestCleanup:
+    def test_owner_close_unlinks_every_segment(self):
+        buffers = SharedBuffers.create(make_data())
+        segments = [spec.segment for spec in buffers.specs]
+        buffers.close()
+        assert buffers.closed
+        for name in segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        buffers = SharedBuffers.create(make_data())
+        buffers.close()
+        buffers.close()
+
+    def test_context_manager_unlinks_on_exception(self):
+        segments = []
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedBuffers.create(make_data()) as buffers:
+                segments = [spec.segment for spec in buffers.specs]
+                raise RuntimeError("boom")
+        for name in segments:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_failed_create_leaks_nothing(self):
+        import os
+
+        class Boom:
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("cannot make an array")
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm to probe for leaked segments")
+        before = set(os.listdir("/dev/shm"))
+        with pytest.raises(RuntimeError, match="cannot make an array"):
+            SharedBuffers.create({"good": np.zeros(4), "bad": Boom()})
+        # the 'good' segment allocated before the failure must be unlinked
+        assert set(os.listdir("/dev/shm")) - before == set()
+
+
+class TestStateGuards:
+    def test_snapshot_copies(self):
+        with SharedBuffers.create(make_data()) as buffers:
+            snap = buffers.snapshot()
+            buffers.arrays["a"][0, 0] = 42.0
+            assert snap["a"][0, 0] != 42.0
+
+    def test_fill_from_overwrites_in_place(self):
+        with SharedBuffers.create(make_data()) as buffers:
+            view = buffers.arrays["a"]
+            buffers.fill_from({"a": np.full((3, 4), 7.0)})
+            assert view[1, 2] == 7.0  # same memory, new contents
+
+    def test_closed_buffers_refuse_use(self):
+        buffers = SharedBuffers.create(make_data())
+        buffers.close()
+        with pytest.raises(SharedBufferError):
+            buffers.snapshot()
+        with pytest.raises(SharedBufferError):
+            buffers.fill_from(make_data())
