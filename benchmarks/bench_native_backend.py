@@ -1,0 +1,146 @@
+"""Wall-clock benchmark: the compiled native backend vs the Python engine.
+
+PR 3 turns the generated C/OpenMP from dead text into an executable
+backend; this benchmark checks that executing the paper's *actual* output
+is at least as fast as the best Python-side execution this repository has.
+Two paths run repeated rounds of the collapsed triangular ``utma`` kernel
+on the same data:
+
+* ``engine`` — the persistent :class:`RuntimeEngine` (PR 2): warm worker
+               pool, shared-memory buffers, compiled batch recovery, one
+               vectorized chunk op per dispatched chunk;
+* ``native`` — the compiled translation unit: one ``ctypes`` call into
+               ``repro_run``, OpenMP threads, once-per-thread index
+               recovery (Fig. 4 scheme) and the kernel body as plain C.
+
+The per-round timings land in ``BENCH_native.json`` (path overridable via
+``BENCH_NATIVE_JSON``), and the asserted gate is the PR's acceptance
+criterion: native >= 1x the persistent engine at ``N = 512``.  Correctness
+is asserted bit-exactly against ``run_original`` before anything is timed.
+``BENCH_NATIVE_N`` / ``BENCH_NATIVE_WORKERS`` / ``BENCH_NATIVE_REPEATS``
+shrink the configuration for CI smoke runs; the whole module skips where no
+C compiler exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.native import native_available
+
+pytestmark = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on this machine"
+)
+
+N = int(os.environ.get("BENCH_NATIVE_N", "512"))
+WORKERS = int(os.environ.get("BENCH_NATIVE_WORKERS", "4"))
+REPEATS = int(os.environ.get("BENCH_NATIVE_REPEATS", "5"))
+SCHEDULE = os.environ.get("BENCH_NATIVE_SCHEDULE", "static")
+JSON_PATH = Path(os.environ.get("BENCH_NATIVE_JSON", "BENCH_native.json"))
+
+#: acceptance gate of the native-backend PR (ISSUE 3): native >= 1x engine
+REQUIRED_SPEEDUP = 1.0
+
+
+def _timed(callable_, repeats: int):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return timings
+
+
+@pytest.fixture(scope="module")
+def native_rounds():
+    """Run both paths, yield their timings, then write the JSON report."""
+    from repro.kernels import get_kernel, run_original
+    from repro.native import compile_native_kernel
+    from repro.runtime import RuntimeEngine, SharedBuffers, build_plan
+
+    kernel = get_kernel("utma")
+    values = {"N": N}
+    plan = build_plan(kernel, values, schedule="adaptive")  # the engine's best policy
+    total = plan.collapsed.total_iterations(values)
+    module = compile_native_kernel(kernel, schedule=SCHEDULE)
+
+    expected = run_original(kernel, values)
+    data = kernel.make_data(values)
+
+    # ---- correctness gates before any timing ------------------------- #
+    last_result = module.run(data, values, threads=WORKERS)
+    assert np.array_equal(data["c"], expected["c"])  # bit-identical
+    assert sum(last_result.results) == total
+
+    with SharedBuffers.create(kernel.make_data(values)) as buffers:
+        with RuntimeEngine(workers=WORKERS) as engine:
+            engine.execute(plan, buffers=buffers)
+            assert np.array_equal(buffers.arrays["c"], expected["c"])
+
+            # utma only writes c, so repeated rounds are idempotent
+            engine_times = _timed(
+                lambda: engine.execute(plan, buffers=buffers), REPEATS
+            )
+            native_times = _timed(
+                lambda: module.run(buffers.arrays, values, threads=WORKERS), REPEATS
+            )
+            last_result = module.run(buffers.arrays, values, threads=WORKERS)
+            assert np.array_equal(buffers.arrays["c"], expected["c"])
+
+    report = {
+        "kernel": kernel.name,
+        "parameters": values,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "native_schedule": SCHEDULE,
+        "engine_schedule": "adaptive",
+        "collapsed_iterations": total,
+        "timings_seconds": {
+            "engine": engine_times,
+            "native": native_times,
+        },
+        "median_seconds": {
+            "engine": statistics.median(engine_times),
+            "native": statistics.median(native_times),
+        },
+        "speedup_native_vs_engine": statistics.median(engine_times)
+        / max(statistics.median(native_times), 1e-9),
+        "native_threads_used": last_result.workers,
+        "native_thread_iterations": list(last_result.results),
+        "native_thread_seconds": list(last_result.chunk_seconds),
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    yield report
+
+
+def test_native_at_least_matches_engine(native_rounds):
+    """The acceptance gate: compiled C >= 1x the persistent Python engine."""
+    speedup = native_rounds["speedup_native_vs_engine"]
+    print(
+        f"\nutma N={N}, {WORKERS} workers: "
+        f"engine {native_rounds['median_seconds']['engine'] * 1e3:.2f} ms, "
+        f"native {native_rounds['median_seconds']['native'] * 1e3:.2f} ms "
+        f"(speed-up {speedup:.1f}x)"
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_json_report_written(native_rounds):
+    report = json.loads(JSON_PATH.read_text())
+    assert report["kernel"] == "utma"
+    assert len(report["timings_seconds"]["native"]) == REPEATS
+    assert report["speedup_native_vs_engine"] > 0
+    assert report["native_threads_used"] >= 1
+    assert len(report["native_thread_seconds"]) == len(report["native_thread_iterations"])
+
+
+def test_per_round_timings_positive(native_rounds):
+    for mode, timings in native_rounds["timings_seconds"].items():
+        assert all(t > 0 for t in timings), mode

@@ -42,7 +42,12 @@ from .batch import (
     clear_batch_cache,
 )
 from .codegen_python import generate_python_source, compile_collapsed_loop
-from .codegen_c import generate_openmp_collapsed, generate_openmp_chunked
+from .codegen_c import (
+    NATIVE_SYMBOLS,
+    generate_openmp_collapsed,
+    generate_openmp_chunked,
+    generate_translation_unit,
+)
 from .vectorize import VectorizedExecution, vectorize_collapsed
 from .gpu import WarpExecution, warp_schedule
 from .remap import IterationRemap, RemapError
@@ -73,8 +78,10 @@ __all__ = [
     "clear_batch_cache",
     "generate_python_source",
     "compile_collapsed_loop",
+    "NATIVE_SYMBOLS",
     "generate_openmp_collapsed",
     "generate_openmp_chunked",
+    "generate_translation_unit",
     "VectorizedExecution",
     "vectorize_collapsed",
     "WarpExecution",

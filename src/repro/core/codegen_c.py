@@ -1,32 +1,166 @@
 """OpenMP / C code generation in the style of the paper's Figures 3, 4 and 7.
 
-The emitted text is not compiled inside this repository (the reproduction
-executes through the Python code generator and the schedulers), but it is
-exactly what the paper's source-to-source tool would print: the collapsed
-``pc`` loop with its ``#pragma omp parallel for``, the complex-arithmetic
-index recovery (``csqrt`` / ``cpow`` / ``creal``), and the reduced-overhead
-variant that recovers the indices once per thread/chunk and then increments
-them like the original nest (Fig. 4, Section V).
+Two layers live here:
+
+* the *pretty printers* (:func:`generate_openmp_collapsed`,
+  :func:`generate_openmp_chunked`) emit the paper-figure fragments: the
+  collapsed ``pc`` loop with its ``#pragma omp parallel for``, the
+  complex-arithmetic index recovery (``csqrt`` / ``cpow`` / ``creal``), and
+  the reduced-overhead variant that recovers the indices once per
+  thread/chunk and then increments them like the original nest (Fig. 4,
+  Section V);
+* the *translation-unit generator* (:func:`generate_translation_unit`)
+  wraps the same constructs into a complete, compilable C file — headers,
+  ``long long`` index arithmetic, per-thread timing instrumentation and an
+  optional kernel body — which :mod:`repro.native` compiles into a shared
+  library and executes through ``ctypes``.
+
+Both layers emit the *guarded* floor of :mod:`repro.core.unranking`: the
+closed-form root is floored with the shared ``FLOOR_EPSILON`` tolerance and
+then snapped onto the exact bracket ``r(.., i_k) <= pc < r(.., i_k + 1)``.
+Earlier revisions emitted a bare ``floor(creal(...))``, which silently
+recovers ``i_k - 1`` whenever the float root lands just below the integer
+boundary (e.g. ``k - 1e-12``); the Python path never had that bug, and the
+generated C now mirrors it exactly.
+
+All emitted integer arithmetic uses ``long long``: a depth-3 nest at
+``N = 2048`` already has more iterations than a 32-bit ``int`` can count,
+and ``long`` is 32 bits on some ABIs.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
+from ..polyhedra import AffineExpr
+from ..symbolic import Polynomial
 from .collapse import CollapsedLoop
 from .codegen_python import CodegenError
+from .unranking import FLOOR_EPSILON
+
+#: spelling of the shared floor tolerance in emitted C source
+_EPSILON_C = repr(FLOOR_EPSILON)
 
 
-def _c_recovery_lines(collapsed: CollapsedLoop) -> List[str]:
+# ---------------------------------------------------------------------- #
+# bounds and brackets as C source
+# ---------------------------------------------------------------------- #
+def _affine_is_integer(expr: AffineExpr) -> bool:
+    if expr.constant.denominator != 1:
+        return False
+    return all(coeff.denominator == 1 for _var, coeff in expr.coefficients)
+
+
+def _c_ceil_bound(expr: AffineExpr) -> str:
+    """C source of ``ceil(expr)`` as a ``long long`` value.
+
+    Integer-coefficient bounds (the common case) evaluate exactly in integer
+    arithmetic; rational bounds go through ``ceil`` in double.
+    """
+    source = expr.to_c_source()
+    if _affine_is_integer(expr):
+        return f"({source})"
+    return f"((long long)ceil((double)({source})))"
+
+
+def _bracket_source(recovery, shift: int = 0) -> str:
+    """The bracket polynomial ``r(prefix, iterator + shift)`` as C source."""
+    bracket = recovery.bracket
+    if shift:
+        bracket = bracket.substitute(
+            {recovery.iterator: Polynomial.variable(recovery.iterator) + shift}
+        )
+    return bracket.to_c_source()
+
+
+def _c_recovery_lines(collapsed: CollapsedLoop, guard: bool = True) -> List[str]:
+    """Recovery statements for every collapsed level, outermost first.
+
+    With ``guard`` (the default, matching the Python unranker) each
+    closed-form floor is epsilon-padded, clamped to the loop range and
+    snapped onto the exact bracket; levels without a closed form fall back
+    to an emitted bisection over the bracket polynomial.  ``guard=False``
+    reproduces the historical bare ``floor(creal(...))`` — kept only so the
+    regression tests can demonstrate the boundary bug it carried.
+    """
     lines: List[str] = []
     for recovery in collapsed.unranking.recoveries:
         if recovery.expression is None:
-            raise CodegenError(
-                f"iterator {recovery.iterator!r} has no closed-form recovery; "
-                "C code generation requires the paper's degree <= 4 closed forms"
+            if not guard:
+                raise CodegenError(
+                    f"iterator {recovery.iterator!r} has no closed-form recovery; "
+                    "C code generation requires the paper's degree <= 4 closed forms"
+                )
+            lines.extend(_bisection_block(recovery))
+            continue
+        if not guard:
+            lines.append(
+                f"{recovery.iterator} = floor(creal({recovery.expression.to_c()}));"
             )
-        lines.append(f"{recovery.iterator} = floor(creal({recovery.expression.to_c()}));")
+            continue
+        lines.extend(_guarded_block(recovery))
     return lines
+
+
+def _bisection_search_lines(recovery, indent: str) -> List[str]:
+    """The exact-search loop of ``UnrankingFunction._bisect`` as C statements.
+
+    Finds the largest index with bracket rank ``<= pc`` between the
+    ``repro_lo``/``repro_hi`` bounds already in scope; the bracket
+    polynomial (integer-valued) is evaluated in double and rounded with
+    ``rint``.
+    """
+    it = recovery.iterator
+    return [
+        f"{indent}while (repro_lo < repro_hi) {{",
+        f"{indent}  long long {it}_mid = (repro_lo + repro_hi + 1) / 2;",
+        f"{indent}  {it} = {it}_mid;",
+        f"{indent}  if (rint({_bracket_source(recovery)}) <= (double)pc) repro_lo = {it}_mid;",
+        f"{indent}  else repro_hi = {it}_mid - 1;",
+        f"{indent}}}",
+        f"{indent}{it} = repro_lo;",
+    ]
+
+
+def _guarded_block(recovery) -> List[str]:
+    """The guarded floor of ``unranking._recover_level`` as C statements.
+
+    The float root is floored (with the shared epsilon), clamped *in
+    double* — casting an infinite or out-of-range double to ``long long``
+    is undefined behaviour — and snapped onto the exact bracket.  A
+    non-finite root (the closed-form branch degenerating to a division by
+    zero, which the Python path catches as ``ZeroDivisionError``) falls
+    back to the same exact search the bisection levels use.
+    """
+    it = recovery.iterator
+    return [
+        "{",
+        f"  long long repro_lo = {_c_ceil_bound(recovery.lower)};",
+        f"  long long repro_hi = {_c_ceil_bound(recovery.upper)} - 1;",
+        f"  double repro_root = floor(creal({recovery.expression.to_c()}) + {_EPSILON_C});",
+        "  if (isfinite(repro_root)) {",
+        f"    if (repro_root < (double)repro_lo) {it} = repro_lo;",
+        f"    else if (repro_root > (double)repro_hi) {it} = repro_hi;",
+        f"    else {it} = (long long)repro_root;",
+        f"    while ({it} > repro_lo && rint({_bracket_source(recovery)}) > (double)pc) {it}--;",
+        f"    while ({it} < repro_hi && rint({_bracket_source(recovery, 1)}) <= (double)pc) {it}++;",
+        "  } else {",
+        "    /* degenerate closed-form branch: exact search, like the Python fallback */",
+        *_bisection_search_lines(recovery, "    "),
+        "  }",
+        "}",
+    ]
+
+
+def _bisection_block(recovery) -> List[str]:
+    """Exact-search fallback for levels outside the degree-4 closed forms."""
+    return [
+        "{",
+        f"  long long repro_lo = {_c_ceil_bound(recovery.lower)};",
+        f"  long long repro_hi = {_c_ceil_bound(recovery.upper)} - 1;",
+        *_bisection_search_lines(recovery, "  "),
+        "}",
+    ]
 
 
 def _c_increment_lines(collapsed: CollapsedLoop) -> List[str]:
@@ -89,7 +223,7 @@ def _total_c_source(collapsed: CollapsedLoop) -> str:
     The polynomial is integer-valued but its rendering divides in double
     precision, so the generated header rounds instead of truncating.
     """
-    return f"(long)(({collapsed.total_polynomial.to_c_source()}) + 0.5)"
+    return f"(long long)(({collapsed.total_polynomial.to_c_source()}) + 0.5)"
 
 
 def generate_openmp_collapsed(collapsed: CollapsedLoop, schedule: str = "static") -> str:
@@ -101,7 +235,7 @@ def generate_openmp_collapsed(collapsed: CollapsedLoop, schedule: str = "static"
         f"#pragma omp parallel for {_private_clause(collapsed)} "
         f"schedule({_schedule_clause(schedule, with_chunk=True)})"
     )
-    lines.append(f"for (long pc = 1; pc <= {total}; pc++) {{")
+    lines.append(f"for (long long pc = 1; pc <= {total}; pc++) {{")
     lines.extend("  " + line for line in _c_recovery_lines(collapsed))
     lines.append(f"  /* original statements */")
     lines.append(f"  S({', '.join(collapsed.iterators)});")
@@ -131,12 +265,12 @@ def generate_openmp_chunked(
             f"firstprivate(first_iteration) schedule({_schedule_clause(schedule, with_chunk=True)})"
         )
     else:
-        lines.append(f"#define CHUNK {chunk}")
+        lines.append(f"#define CHUNK {chunk}LL")
         lines.append(
             f"#pragma omp parallel for {_private_clause(collapsed)} "
             f"schedule({_schedule_clause(schedule, with_chunk=False)}, CHUNK)"
         )
-    lines.append(f"for (long pc = 1; pc <= {total}; pc++) {{")
+    lines.append(f"for (long long pc = 1; pc <= {total}; pc++) {{")
     condition = "first_iteration" if chunk is None else "(pc - 1) % CHUNK == 0"
     lines.append(f"  if ({condition}) {{")
     lines.extend("    " + line for line in _c_recovery_lines(collapsed))
@@ -147,5 +281,282 @@ def generate_openmp_chunked(
     lines.append(f"  S({', '.join(collapsed.iterators)});")
     lines.append("  /* indices incrementation as in the original loop nest */")
     lines.extend("  " + line for line in _c_increment_lines(collapsed))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# complete translation units (the native backend's input)
+# ---------------------------------------------------------------------- #
+#: exported symbol names of every generated translation unit
+NATIVE_SYMBOLS = ("repro_total", "repro_recover_range", "repro_run")
+
+_RESERVED_PREFIX = "repro_"
+
+#: identifiers the generated unit itself relies on: shadowing any of them
+#: (e.g. an array macro named ``floor``) corrupts the emitted recovery
+_RESERVED_NAMES = frozenset(
+    {
+        "first_pc", "last_pc",                      # function parameters
+        "floor", "ceil", "rint", "isfinite",        # math.h calls we emit
+        "creal", "csqrt", "cpow", "I", "complex",   # complex.h
+        "clock", "CLOCKS_PER_SEC",                  # time.h fallback path
+    }
+    | {  # C keywords that are valid Python identifiers
+        "auto", "break", "case", "char", "const", "continue", "default",
+        "do", "double", "else", "enum", "extern", "float", "for", "goto",
+        "if", "inline", "int", "long", "register", "restrict", "return",
+        "short", "signed", "sizeof", "static", "struct", "switch",
+        "typedef", "union", "unsigned", "void", "volatile", "while",
+    }
+)
+
+
+def _check_names(collapsed: CollapsedLoop, arrays: Sequence[str]) -> None:
+    if collapsed.pc_name != "pc":
+        raise CodegenError(
+            f"the generated C declares the collapsed iterator as 'pc'; collapse with "
+            f"pc_name='pc' instead of {collapsed.pc_name!r}"
+        )
+    used = set(collapsed.nest.iterators) | set(collapsed.nest.parameters) | {collapsed.pc_name}
+    for name in arrays:
+        if not name.isidentifier():
+            raise CodegenError(f"array name {name!r} is not a valid C identifier")
+        if name in used:
+            raise CodegenError(
+                f"array name {name!r} clashes with an iterator or parameter of "
+                f"{collapsed.nest.name!r}"
+            )
+    for name in list(used) + list(arrays):
+        if name.startswith(_RESERVED_PREFIX):
+            raise CodegenError(
+                f"name {name!r} uses the reserved {_RESERVED_PREFIX!r} prefix of the "
+                "generated translation unit"
+            )
+        if name in _RESERVED_NAMES:
+            raise CodegenError(
+                f"name {name!r} shadows a C keyword or library identifier the "
+                "generated translation unit uses; rename it"
+            )
+
+
+def _param_prologue(collapsed: CollapsedLoop, indent: str) -> List[str]:
+    lines = []
+    for position, name in enumerate(collapsed.nest.parameters):
+        lines.append(f"{indent}const long long {name} = repro_params[{position}];")
+        lines.append(f"{indent}(void){name};")
+    return lines
+
+
+def _recovery_scheme(spec) -> Tuple[str, Optional[int]]:
+    """Pick the cheapest recovery scheme a schedule permits.
+
+    ``static`` (one contiguous block per thread) supports the Fig. 4
+    once-per-thread flag; fixed-chunk schedules support the Section V
+    once-per-chunk modulo test; anything else (``guided``'s shrinking
+    chunks) recovers at every iteration (Fig. 3).
+    """
+    from ..openmp.schedule import ScheduleKind
+
+    if spec.kind is ScheduleKind.STATIC and spec.chunk_size is None:
+        return "thread", None
+    if spec.kind in (ScheduleKind.STATIC, ScheduleKind.STATIC_CHUNKED, ScheduleKind.DYNAMIC):
+        chunk = spec.chunk_size or 1
+        if chunk == 1:
+            return "iteration", None
+        return "chunk", chunk
+    return "iteration", None
+
+
+def _loop_body_lines(
+    collapsed: CollapsedLoop,
+    body: Optional[str],
+    scheme: str,
+    chunk: Optional[int],
+    guard: bool = True,
+) -> List[str]:
+    """The statements inside the ``pc`` loop (recovery + body [+ increments])."""
+    recovery = _c_recovery_lines(collapsed, guard=guard)
+    lines: List[str] = []
+    if scheme == "iteration":
+        lines.extend(recovery)
+    elif scheme == "thread":
+        lines.append("if (repro_fresh) {")
+        lines.extend("  " + line for line in recovery)
+        lines.append("  repro_fresh = 0;")
+        lines.append("}")
+    else:  # per-chunk: OpenMP chunks are aligned on first_pc + k * chunk
+        lines.append(f"if ((pc - first_pc) % {chunk}LL == 0) {{")
+        lines.extend("  " + line for line in recovery)
+        lines.append("}")
+    if body is not None:
+        lines.append("{")
+        lines.extend("  " + line for line in body.strip("\n").splitlines())
+        lines.append("}")
+    if scheme in ("thread", "chunk"):
+        lines.append("/* indices incrementation as in the original loop nest */")
+        lines.extend(_c_increment_lines(collapsed))
+    return lines
+
+
+def generate_translation_unit(
+    collapsed: CollapsedLoop,
+    *,
+    body: Optional[str] = None,
+    arrays: Sequence[str] = (),
+    schedule: object = "static",
+    guard: bool = True,
+) -> str:
+    """A complete C translation unit for one collapsed nest.
+
+    The unit exports three functions (see :data:`NATIVE_SYMBOLS`):
+
+    * ``long long repro_total(const long long *params)`` — the collapsed
+      trip count for concrete parameter values (``params`` in the order of
+      ``collapsed.nest.parameters``);
+    * ``int repro_recover_range(params, first_pc, last_pc, long long *out)``
+      — writes the recovered indices of the inclusive 1-based ``pc`` range
+      into ``out`` as an ``(n, depth)`` row-major array;
+    * ``int repro_run(params, first_pc, last_pc, double *const *arrays,
+      const long long *strides, int max_threads, long long *counts,
+      double *seconds, long long *first, long long *last)`` — executes
+      ``body`` for every ``pc`` of the range under the requested OpenMP
+      schedule and reports, per thread, the iteration count, wall-clock
+      seconds and the span of ``pc`` values it ran; returns the team size.
+
+    ``body`` is C source executed once per collapsed iteration with the
+    recovered iterators and the parameters in scope as ``long long``; each
+    name in ``arrays`` is a 2-D row-major ``double`` array accessed through
+    a generated ``name(row, col)`` macro.  ``guard=False`` reproduces the
+    historical unguarded floor (regression tests only).
+
+    The recovery scheme follows the schedule: one recovery per thread under
+    plain ``static`` (Fig. 4), one per chunk for fixed-chunk schedules
+    (Section V), one per iteration otherwise (Fig. 3).
+    """
+    from ..openmp.schedule import ScheduleSpec
+
+    _check_names(collapsed, arrays)
+    try:
+        spec = ScheduleSpec.parse(schedule)
+    except ValueError as error:
+        raise CodegenError(str(error)) from None
+    clause = _schedule_clause(spec, with_chunk=True)
+    # the unguarded variant exists only to reproduce the historical bug on the
+    # per-iteration scheme; the incrementation schemes always emit the guard
+    scheme, chunk = _recovery_scheme(spec) if guard else ("iteration", None)
+    depth = collapsed.depth
+    iterators = collapsed.iterators
+    declare_iters = "long long " + " = 0, ".join(iterators) + " = 0;"
+
+    lines: List[str] = [
+        f"/* native backend translation unit for '{collapsed.nest.name}'",
+        f"   generated by repro.core.codegen_c from the ranking polynomial",
+        f"   r({', '.join(iterators)}) = {collapsed.ranking.polynomial}",
+        f"   schedule({clause}); recovery: once per {scheme} */",
+        "#include <math.h>",
+        "#include <complex.h>",
+        "#include <time.h>",
+        "#ifdef _OPENMP",
+        "#include <omp.h>",
+        "#endif",
+        "",
+    ]
+    for name in arrays:
+        lines.append(
+            f"#define {name}(repro_r, repro_c) "
+            f"({name}_p[(long long)(repro_r) * {name}_st + (long long)(repro_c)])"
+        )
+    if arrays:
+        lines.append("")
+
+    # ---- total ------------------------------------------------------- #
+    lines.append("long long repro_total(const long long *repro_params) {")
+    lines.extend(_param_prologue(collapsed, "  "))
+    lines.append(f"  return {_total_c_source(collapsed)};")
+    lines.append("}")
+    lines.append("")
+
+    # ---- recover_range ------------------------------------------------ #
+    recovery_lines = _c_recovery_lines(collapsed, guard=guard)
+    lines.append(
+        "int repro_recover_range(const long long *repro_params, long long first_pc,"
+    )
+    lines.append(
+        "                        long long last_pc, long long *repro_out) {"
+    )
+    lines.extend(_param_prologue(collapsed, "  "))
+    lines.append("  for (long long pc = first_pc; pc <= last_pc; pc++) {")
+    lines.append(f"    {declare_iters}")
+    lines.extend("    " + line for line in recovery_lines)
+    for position, name in enumerate(iterators):
+        lines.append(f"    repro_out[(pc - first_pc) * {depth} + {position}] = {name};")
+    lines.append("  }")
+    lines.append("  return 0;")
+    lines.append("}")
+    lines.append("")
+
+    # ---- run ----------------------------------------------------------- #
+    loop_lines = _loop_body_lines(collapsed, body, scheme, chunk, guard)
+
+    def emit_thread_loop(indent: str, parallel: bool) -> None:
+        if scheme == "thread":
+            lines.append(f"{indent}int repro_fresh = 1;")
+        lines.append(f"{indent}long long repro_n = 0, repro_first = 0, repro_last = -1;")
+        lines.append(f"{indent}{declare_iters}")
+        if parallel:
+            lines.append(f"#pragma omp for schedule({clause}) nowait")
+        lines.append(f"{indent}for (long long pc = first_pc; pc <= last_pc; pc++) {{")
+        lines.extend(f"{indent}  " + line for line in loop_lines)
+        lines.append(f"{indent}  if (repro_n == 0 || pc < repro_first) repro_first = pc;")
+        lines.append(f"{indent}  if (repro_n == 0 || pc > repro_last) repro_last = pc;")
+        lines.append(f"{indent}  repro_n++;")
+        lines.append(f"{indent}}}")
+
+    lines.append(
+        "int repro_run(const long long *repro_params, long long first_pc, long long last_pc,"
+    )
+    lines.append(
+        "              double *const *repro_arrays, const long long *repro_strides,"
+    )
+    lines.append(
+        "              int repro_max_threads, long long *repro_counts, double *repro_seconds,"
+    )
+    lines.append(
+        "              long long *repro_firsts, long long *repro_lasts) {"
+    )
+    lines.extend(_param_prologue(collapsed, "  "))
+    for position, name in enumerate(arrays):
+        lines.append(
+            f"  double *restrict {name}_p = repro_arrays[{position}]; "
+            f"const long long {name}_st = repro_strides[{position}];"
+        )
+    lines.append("  int repro_used = 1;")
+    lines.append("  if (repro_max_threads < 1) repro_max_threads = 1;")
+    lines.append("  if (last_pc < first_pc) return 0;")
+    lines.append("#ifdef _OPENMP")
+    lines.append("#pragma omp parallel num_threads(repro_max_threads)")
+    lines.append("  {")
+    lines.append("    const int repro_tid = omp_get_thread_num();")
+    lines.append("#pragma omp single")
+    lines.append("    repro_used = omp_get_num_threads();")
+    lines.append("    const double repro_t0 = omp_get_wtime();")
+    emit_thread_loop("    ", parallel=True)
+    lines.append("    repro_seconds[repro_tid] = omp_get_wtime() - repro_t0;")
+    lines.append("    repro_counts[repro_tid] = repro_n;")
+    lines.append("    repro_firsts[repro_tid] = repro_first;")
+    lines.append("    repro_lasts[repro_tid] = repro_last;")
+    lines.append("  }")
+    lines.append("#else")
+    lines.append("  {")
+    lines.append("    const clock_t repro_t0 = clock();")
+    emit_thread_loop("    ", parallel=False)
+    lines.append("    repro_seconds[0] = (double)(clock() - repro_t0) / CLOCKS_PER_SEC;")
+    lines.append("    repro_counts[0] = repro_n;")
+    lines.append("    repro_firsts[0] = repro_first;")
+    lines.append("    repro_lasts[0] = repro_last;")
+    lines.append("  }")
+    lines.append("#endif")
+    lines.append("  return repro_used;")
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -39,6 +39,10 @@ from .ranking import RankingPolynomial
 #: guarded bracket check corrects any residual off-by-one.
 _FLOOR_EPSILON = 1e-9
 
+#: Public alias used by the code generators so the emitted C applies the very
+#: same tolerance as this scalar path (docs/native.md, repro.core.codegen_c).
+FLOOR_EPSILON = _FLOOR_EPSILON
+
 
 class UnrankingError(ValueError):
     """Raised when no valid recovery can be constructed for some index."""

@@ -16,9 +16,22 @@ implementation used to validate that collapsed execution computes the same
 result as the original nest.
 """
 
-from .base import Kernel, all_kernels, executable_kernels, get_kernel, register_kernel
+from .base import (
+    Kernel,
+    all_kernels,
+    executable_kernels,
+    get_kernel,
+    native_kernels,
+    register_kernel,
+)
 from . import polybench, triangular, tiled  # noqa: F401  (registration side effects)
-from .execution import run_collapsed_chunks, run_collapsed_engine, run_original, verify_kernel
+from .execution import (
+    run_collapsed_chunks,
+    run_collapsed_engine,
+    run_collapsed_native,
+    run_original,
+    verify_kernel,
+)
 from .tiled import TILED_KERNELS, TiledKernel, get_tiled_kernel
 
 __all__ = [
@@ -26,9 +39,11 @@ __all__ = [
     "all_kernels",
     "executable_kernels",
     "get_kernel",
+    "native_kernels",
     "register_kernel",
     "run_collapsed_chunks",
     "run_collapsed_engine",
+    "run_collapsed_native",
     "run_original",
     "verify_kernel",
     "TiledKernel",

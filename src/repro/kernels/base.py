@@ -41,6 +41,14 @@ class Kernel:
     chunk_op: Optional[ChunkOp] = None
     reference_numpy: Optional[Callable[[DataDict, Mapping[str, int]], DataDict]] = None
     check_dependences: bool = True
+    #: C source of one collapsed iteration for the native backend: the
+    #: recovered iterators and the parameters are in scope as ``long long``,
+    #: each name in ``c_arrays`` is a 2-D row-major double array accessed as
+    #: ``name(row, col)``.  ``None`` means the kernel has no native body.
+    c_body: Optional[str] = None
+    #: the arrays the native body touches, in ABI (pointer-table) order;
+    #: must be keys of ``make_data``'s result
+    c_arrays: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # derived objects
@@ -57,6 +65,11 @@ class Kernel:
     def is_executable(self) -> bool:
         """True when the kernel can actually be run on NumPy data."""
         return self.make_data is not None and self.iteration_op is not None
+
+    @property
+    def supports_native(self) -> bool:
+        """True when the kernel carries a C body for the native backend."""
+        return self.is_executable and self.c_body is not None
 
     def __str__(self) -> str:
         return f"{self.name}: {self.description}"
@@ -87,3 +100,8 @@ def all_kernels() -> List[Kernel]:
 def executable_kernels() -> List[Kernel]:
     """The kernels that can be executed on NumPy data (not just simulated)."""
     return [kernel for kernel in _REGISTRY.values() if kernel.is_executable]
+
+
+def native_kernels() -> List[Kernel]:
+    """The kernels the native (compiled C/OpenMP) backend can execute."""
+    return [kernel for kernel in _REGISTRY.values() if kernel.supports_native]

@@ -110,6 +110,32 @@ def run_collapsed_engine(
     )
 
 
+def run_collapsed_native(
+    kernel: Kernel,
+    parameter_values: Mapping[str, int],
+    data: Optional[DataDict] = None,
+    schedule: object = "static",
+    threads: Optional[int] = None,
+) -> DataDict:
+    """Run the kernel's collapsed loop through the compiled native backend.
+
+    The generated C/OpenMP translation unit of the kernel (its ``c_body``
+    under ``schedule``) is compiled once — cached on disk by source hash —
+    and executed over the whole ``pc`` range on a private copy of the data.
+    Raises :class:`repro.native.NativeUnavailable` on machines without a C
+    compiler; callers wanting a soft feature test use
+    :func:`repro.native.native_available`.
+    """
+    from ..native import compile_native_kernel  # deferred: optional backend
+
+    if not kernel.supports_native:
+        raise ValueError(f"kernel {kernel.name!r} has no native C body")
+    data = _clone_data(data) if data is not None else kernel.make_data(parameter_values)
+    module = compile_native_kernel(kernel, schedule=schedule)
+    module.run(data, parameter_values, threads=threads)
+    return data
+
+
 def verify_kernel(
     kernel: Kernel,
     parameter_values: Optional[Mapping[str, int]] = None,
@@ -117,6 +143,7 @@ def verify_kernel(
     atol: float = 1e-9,
     recovery: str = "symbolic",
     session=None,
+    backend: str = "python",
 ) -> bool:
     """Original order == collapsed chunked order == NumPy reference.
 
@@ -126,8 +153,13 @@ def verify_kernel(
     the back end the collapsed run uses (see :func:`run_collapsed_chunks`).
     Passing a :class:`repro.runtime.RuntimeSession` additionally runs the
     kernel through the parallel engine and requires that result to match
-    the original order too.
+    the original order too.  ``backend="native"`` additionally runs the
+    compiled C/OpenMP translation unit of the kernel and requires *its*
+    result to match as well (raising
+    :class:`repro.native.NativeUnavailable` where no compiler exists).
     """
+    if backend not in ("python", "native"):
+        raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'native'")
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
     parameter_values = dict(parameter_values or kernel.bench_parameters)
@@ -151,5 +183,12 @@ def verify_kernel(
         )
         for name in original:
             if not np.allclose(original[name], engine_result[name], atol=atol):
+                return False
+    if backend == "native":
+        native_result = run_collapsed_native(
+            kernel, parameter_values, initial, threads=threads
+        )
+        for name in original:
+            if not np.allclose(original[name], native_result[name], atol=atol):
                 return False
     return True

@@ -93,6 +93,15 @@ register_kernel(
         make_data=_correlation_data,
         iteration_op=_correlation_op,
         reference_numpy=_correlation_reference,
+        # the non-collapsed k loop runs as a real C loop (Python uses a BLAS
+        # dot product, so agreement is to rounding)
+        c_body=(
+            "double acc = 0.0;\n"
+            "for (long long k = 0; k < N; k++) acc += b(k, i) * c(k, j);\n"
+            "a(i, j) += acc;\n"
+            "a(j, i) = a(i, j);"
+        ),
+        c_arrays=("a", "b", "c"),
     )
 )
 
@@ -151,6 +160,12 @@ register_kernel(
         make_data=_covariance_data,
         iteration_op=_covariance_op,
         reference_numpy=_covariance_reference,
+        # same divide as the Python op: bit-identical
+        c_body=(
+            "cov(i, j) = acc(i, j) / (double)(N - 1);\n"
+            "cov(j, i) = cov(i, j);"
+        ),
+        c_arrays=("acc", "cov"),
     )
 )
 
@@ -203,6 +218,9 @@ register_kernel(
         make_data=_symm_data,
         iteration_op=_symm_op,
         reference_numpy=_symm_reference,
+        # element-wise update: bit-identical
+        c_body="C(i, j) += 1.5 * A(i, j) * B(i, j);",
+        c_arrays=("A", "B", "C"),
     )
 )
 
@@ -254,6 +272,12 @@ register_kernel(
         make_data=_syrk_data,
         iteration_op=_syrk_op,
         reference_numpy=_syrk_reference,
+        c_body=(
+            "double acc = 0.0;\n"
+            "for (long long k = 0; k < M; k++) acc += A(i, k) * A(j, k);\n"
+            "C(i, j) += acc;"
+        ),
+        c_arrays=("A", "C"),
     )
 )
 
@@ -310,6 +334,14 @@ register_kernel(
         make_data=_syr2k_data,
         iteration_op=_syr2k_op,
         reference_numpy=_syr2k_reference,
+        # the 2M-deep rank-2 update, expressed like the Python op: two
+        # M-deep products per (i, j)
+        c_body=(
+            "double acc = 0.0;\n"
+            "for (long long k = 0; k < M; k++) acc += A(i, k) * B(j, k) + B(i, k) * A(j, k);\n"
+            "C(i, j) += acc;"
+        ),
+        c_arrays=("A", "B", "C"),
     )
 )
 
@@ -366,6 +398,12 @@ register_kernel(
         make_data=_trmm_data,
         iteration_op=_trmm_op,
         reference_numpy=_trmm_reference,
+        c_body=(
+            "double acc = 0.0;\n"
+            "for (long long k = 0; k < M; k++) acc += A(i, k) * C(k, j);\n"
+            "B(i, j) += acc;"
+        ),
+        c_arrays=("A", "B", "C"),
     )
 )
 
@@ -424,6 +462,9 @@ register_kernel(
         make_data=_cholesky_update_data,
         iteration_op=_cholesky_update_op,
         reference_numpy=_cholesky_update_reference,
+        # one multiply-subtract per iteration: bit-identical
+        c_body="A(i, j) -= A(i, K) * A(j, K);",
+        c_arrays=("A",),
     )
 )
 
@@ -480,6 +521,9 @@ register_kernel(
         make_data=_lu_update_data,
         iteration_op=_lu_update_op,
         reference_numpy=_lu_update_reference,
+        # one multiply-subtract per iteration: bit-identical
+        c_body="A(i, j) -= A(i, K) * A(K, j);",
+        c_arrays=("A",),
     )
 )
 

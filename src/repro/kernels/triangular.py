@@ -88,6 +88,9 @@ register_kernel(
         iteration_op=_utma_op,
         chunk_op=_utma_chunk_op,
         reference_numpy=_utma_reference,
+        # element-wise add: bit-identical to the Python/NumPy paths
+        c_body="c(i, j) = a(i, j) + b(i, j);",
+        c_arrays=("a", "b", "c"),
     )
 )
 
@@ -149,5 +152,13 @@ register_kernel(
         make_data=_ltmp_data,
         iteration_op=_ltmp_op,
         reference_numpy=_ltmp_reference,
+        # the non-collapsed k reduction runs as a real C loop (the Python op
+        # uses a BLAS dot, so agreement is to rounding, not bit-exact)
+        c_body=(
+            "double acc = 0.0;\n"
+            "for (long long k = j; k <= i; k++) acc += a(i, k) * b(k, j);\n"
+            "c(i, j) = acc;"
+        ),
+        c_arrays=("a", "b", "c"),
     )
 )

@@ -1,0 +1,151 @@
+"""Compiler discovery and cached shared-library compilation.
+
+This is the bottom half of the native backend: find a C compiler (``$CC``,
+then ``cc``/``gcc``/``clang`` on ``PATH``), probe once whether it accepts
+``-fopenmp``, and turn generated translation units into ``ctypes``-loadable
+shared libraries with ``cc -O2 -fPIC -shared [-fopenmp] ... -lm``.
+
+Compilation results are cached on disk, keyed by the SHA-256 of the source
+*and* of the exact compiler command line: the ``<digest>.c`` /
+``<digest>.so`` pair lives in ``$REPRO_NATIVE_CACHE`` (default
+``~/.cache/repro-native``), so an identical nest re-collapsed in a fresh
+process loads the library without invoking the compiler at all.  Everything
+degrades cleanly: machines without any compiler raise
+:class:`NativeUnavailable`, which the execution layers and the test suite
+translate into an explicit skip, never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: compilers probed, in order, when ``$CC`` is not set
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+#: flags every compilation uses (OpenMP is probed separately)
+BASE_FLAGS = ("-O2", "-fPIC", "-shared")
+
+
+class NativeUnavailable(RuntimeError):
+    """No usable C compiler (or a compilation failed); callers should fall
+    back to the Python engine or skip, never crash."""
+
+
+def find_compiler() -> Optional[str]:
+    """Absolute path of the first usable C compiler, or ``None``.
+
+    ``$CC`` wins when set (even if broken — an explicit override should fail
+    loudly rather than silently picking a different compiler).
+    """
+    override = os.environ.get("CC", "").strip()
+    if override:
+        return shutil.which(override) or override
+    for name in _COMPILER_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+@lru_cache(maxsize=None)
+def openmp_flags(compiler: str) -> Tuple[str, ...]:
+    """``("-fopenmp",)`` when the compiler links an OpenMP test unit, else ``()``.
+
+    Probed once per compiler per process; without OpenMP the generated code
+    still compiles (its ``#ifdef _OPENMP`` fallback runs single-threaded).
+    """
+    probe = (
+        "#include <omp.h>\n"
+        "double repro_probe(void) { return omp_get_wtime(); }\n"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-native-probe-") as workdir:
+        source = Path(workdir) / "probe.c"
+        output = Path(workdir) / "probe.so"
+        source.write_text(probe)
+        command = [compiler, *BASE_FLAGS, "-fopenmp", str(source), "-o", str(output), "-lm"]
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, timeout=60.0
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return ()
+        return ("-fopenmp",) if result.returncode == 0 else ()
+
+
+def native_available() -> bool:
+    """True when a C compiler exists (the test suite's skip condition)."""
+    return find_compiler() is not None
+
+
+def cache_dir() -> Path:
+    """The on-disk compilation cache (``$REPRO_NATIVE_CACHE`` overrides)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE", "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-native"
+
+
+def source_digest(source: str, command_tail: Tuple[str, ...]) -> str:
+    """SHA-256 of the source plus the compiler invocation that builds it."""
+    payload = "\x00".join((source, *command_tail))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def compile_shared_library(source: str, tag: str = "collapsed") -> Path:
+    """Compile a translation unit to a cached shared library; return its path.
+
+    A cache hit (same source, same compiler, same flags) returns the
+    existing ``.so`` without running the compiler.  Raises
+    :class:`NativeUnavailable` when no compiler is found or the compilation
+    fails (with the compiler's stderr in the message).
+    """
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeUnavailable(
+            "no C compiler found (tried $CC, cc, gcc, clang); install one or use "
+            "the Python engine backend"
+        )
+    flags = BASE_FLAGS + openmp_flags(compiler)
+    digest = source_digest(source, (compiler,) + flags)
+    directory = cache_dir()
+    library = directory / f"{tag}-{digest[:16]}.so"
+    if library.exists():
+        return library
+
+    directory.mkdir(parents=True, exist_ok=True)
+    c_file = directory / f"{tag}-{digest[:16]}.c"
+    c_file.write_text(source)
+    # compile to a temporary name and publish atomically, so concurrent
+    # processes racing on the same digest never load a half-written library
+    scratch = directory / f".{tag}-{digest[:16]}-{os.getpid()}.so"
+    command = [compiler, *flags, str(c_file), "-o", str(scratch), "-lm"]
+    try:
+        result = subprocess.run(command, capture_output=True, text=True, timeout=300.0)
+    except (OSError, subprocess.TimeoutExpired) as error:
+        raise NativeUnavailable(f"C compiler failed to run: {error}") from error
+    if result.returncode != 0:
+        scratch.unlink(missing_ok=True)
+        raise NativeUnavailable(
+            f"compilation failed ({' '.join(command)}):\n{result.stderr.strip()}"
+        )
+    os.replace(scratch, library)
+    return library
+
+
+def clear_native_cache() -> int:
+    """Delete every cached source/library pair; returns the file count."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.iterdir():
+            if path.suffix in (".c", ".so"):
+                path.unlink(missing_ok=True)
+                removed += 1
+    return removed

@@ -26,7 +26,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from ..openmp.schedule import ScheduleSpec
 from .engine import EngineRunResult, RuntimeEngine
-from .plan import ExecutionPlan, build_plan
+from .plan import ExecutionPlan, PlanError, build_plan
 from .shm import SharedBuffers
 
 
@@ -121,6 +121,8 @@ class RuntimeSession:
         depth: Optional[int] = None,
         recovery: str = "compiled",
         fresh_data: bool = True,
+        backend: str = "engine",
+        threads: Optional[int] = None,
         **plan_kwargs,
     ):
         """Collapse (cached), plan (cached), execute on the persistent engine.
@@ -136,8 +138,41 @@ class RuntimeSession:
         ``plan_kwargs`` (``iteration_op=``/``chunk_op=``, module-level
         functions); they run against the caller's shared ``data`` buffers
         if given, and the return value is the :class:`EngineRunResult`.
+
+        ``backend`` selects the execution substrate: ``"engine"`` (the
+        default) dispatches chunks to the persistent worker pool;
+        ``"native"`` compiles the kernel's generated C/OpenMP translation
+        unit (memoised in-process and on disk) and runs it in-process —
+        see :meth:`run_native`.  ``threads`` caps the native OpenMP team
+        (defaulting to the engine's worker count) and is rejected on the
+        engine backend, whose parallelism is the session's ``workers``.
         """
         from ..kernels import get_kernel
+
+        if backend == "native":
+            # reject rather than silently drop anything only the engine honours
+            engine_only = sorted(plan_kwargs)
+            if depth is not None:
+                engine_only.append("depth")
+            if recovery != "compiled":
+                engine_only.append("recovery")
+            if fresh_data is not True:
+                engine_only.append("fresh_data")
+            if engine_only:
+                raise PlanError(
+                    f"the native backend does not take {engine_only}; these are "
+                    "engine-only options — use backend='engine'"
+                )
+            return self.run_native(
+                source, parameter_values, data=data, schedule=schedule, threads=threads
+            )
+        if backend != "engine":
+            raise PlanError(f"unknown backend {backend!r}; expected 'engine' or 'native'")
+        if threads is not None:
+            raise PlanError(
+                "threads is a native-backend option; the engine's parallelism is "
+                "the session's worker count (set workers= when creating it)"
+            )
 
         plan = self.plan_for(source, parameter_values, schedule, depth, recovery, **plan_kwargs)
         kernel = None
@@ -176,6 +211,54 @@ class RuntimeSession:
     def execute(self, plan: ExecutionPlan, buffers: Optional[SharedBuffers] = None) -> EngineRunResult:
         """Low-level pass-through for callers managing plans/buffers themselves."""
         return self.engine.execute(plan, buffers=buffers)
+
+    # ------------------------------------------------------------------ #
+    # native backend
+    # ------------------------------------------------------------------ #
+    def run_native(
+        self,
+        source,
+        parameter_values: Mapping[str, int],
+        data=None,
+        schedule: object = "adaptive",
+        threads: Optional[int] = None,
+    ):
+        """Run a registered kernel through the compiled C/OpenMP backend.
+
+        The kernel's translation unit is compiled once per (kernel,
+        schedule) — memoised process-wide and cached on disk by source hash
+        — so repeated calls are a single ``ctypes`` dispatch; the return
+        value is the result ``DataDict``, element-wise comparable to the
+        engine's.  ``source`` must be a registered kernel (name or
+        :class:`~repro.kernels.Kernel`) with a ``c_body`` — ad-hoc nests
+        carry Python callables the C generator cannot translate.  The
+        engine-only ``"adaptive"`` policy has no OpenMP spelling and maps
+        to ``static`` here; ``threads`` defaults to the engine's worker
+        count, keeping the two backends' parallelism comparable.
+        """
+        from ..kernels import Kernel, run_collapsed_native
+        from ..kernels import get_kernel
+        from ..openmp.schedule import ScheduleKind
+
+        kernel = get_kernel(source) if isinstance(source, str) else source
+        if not isinstance(kernel, Kernel):
+            raise PlanError(
+                f"the native backend runs registered kernels, not {type(source).__name__}; "
+                "use backend='engine' for ad-hoc nests"
+            )
+        spec = ScheduleSpec.parse(schedule)
+        if spec.kind is ScheduleKind.ADAPTIVE:
+            spec = ScheduleSpec.parse("static")
+        # compiled modules are memoised process-wide (repro.native.module)
+        # and on disk by source hash, so repeated session calls recompile
+        # nothing; the execution itself is the one shared implementation
+        return run_collapsed_native(
+            kernel,
+            parameter_values,
+            data=data,
+            schedule=spec,
+            threads=threads or self.engine.workers,
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -237,7 +320,11 @@ def collapse_and_run(
     :meth:`RuntimeSession.run`.  Without an explicit ``session`` the default
     session is used (its engine starts on the first call and persists, so
     repeated calls pay no pool start-up; ``workers`` only takes effect on
-    the call that creates it).
+    the call that creates it).  ``backend="native"`` routes a registered
+    kernel through the compiled C/OpenMP backend instead of the worker
+    pool::
+
+        data = collapse_and_run("utma", {"N": 512}, backend="native")
     """
     session = session or default_session(workers=workers)
     return session.run(source, parameter_values, data=data, schedule=schedule, **run_kwargs)

@@ -108,8 +108,31 @@ class TestCCodegen:
         assert "schedule(static)" in source
         assert "csqrt" in source
         assert "creal" in source
-        assert "for (long pc = 1; pc <=" in source
+        # 64-bit on every ABI: a depth-3 nest at N=2048 overflows a 32-bit pc
+        assert "for (long long pc = 1; pc <=" in source
         assert "S(i, j);" in source
+
+    def test_recovery_emits_the_guarded_floor(self, collapsed_correlation):
+        """The C recovery mirrors unranking.py: epsilon-padded floor, clamp,
+        and the exact bracket correction — not the bare floor(creal(...))
+        that mis-recovers when a root lands just below an integer."""
+        source = generate_openmp_collapsed(collapsed_correlation)
+        assert "+ 1e-09" in source                      # shared FLOOR_EPSILON
+        # clamp happens in double: casting an Inf/NaN or out-of-range root
+        # to long long would be undefined behaviour
+        assert "if (isfinite(repro_root))" in source
+        assert "if (repro_root < (double)repro_lo) i = repro_lo;" in source
+        assert "while (i > repro_lo && rint(" in source  # bracket snap down
+        assert "i++;" in source.split("S(i, j);")[0]     # bracket snap up
+        # a degenerate (division-by-zero) branch falls back to exact search
+        assert "degenerate closed-form branch" in source
+        # the historical buggy form is gone
+        assert "= floor(creal(csqrt" not in source
+
+    def test_chunked_recovery_is_guarded_too(self, collapsed_correlation):
+        source = generate_openmp_chunked(collapsed_correlation, chunk=64)
+        assert "+ 1e-09" in source
+        assert "while (j < repro_hi && rint(" in source
 
     def test_collapsed_c_mentions_complex_header(self, collapsed_figure6):
         source = generate_openmp_collapsed(collapsed_figure6)
@@ -145,3 +168,76 @@ class TestCCodegen:
         assert "k++;" in source
         assert "j++;" in source
         assert "i++;" in source
+
+
+class TestTranslationUnit:
+    """Text-level checks of the complete-TU generator (compile-and-run
+    coverage lives in tests/native/)."""
+
+    def test_exports_and_headers(self, collapsed_correlation):
+        from repro.core import NATIVE_SYMBOLS, generate_translation_unit
+
+        source = generate_translation_unit(
+            collapsed_correlation, body="visits(i, j) += 1.0;", arrays=("visits",)
+        )
+        for symbol in NATIVE_SYMBOLS:
+            assert symbol in source
+        assert "#include <complex.h>" in source
+        assert "#ifdef _OPENMP" in source
+        assert "#define visits(repro_r, repro_c)" in source
+        # all index arithmetic is 64-bit
+        assert "long" in source and " int pc" not in source
+
+    def test_schedule_picks_recovery_scheme(self, collapsed_correlation):
+        from repro.core import generate_translation_unit
+
+        static = generate_translation_unit(collapsed_correlation, schedule="static")
+        assert "repro_fresh" in static                  # Fig. 4 once-per-thread
+        chunked = generate_translation_unit(collapsed_correlation, schedule="dynamic,64")
+        assert "% 64LL == 0" in chunked                 # Section V once-per-chunk
+        guided = generate_translation_unit(collapsed_correlation, schedule="guided")
+        assert "repro_fresh" not in guided              # Fig. 3 per-iteration
+
+    def test_adaptive_schedule_is_rejected(self, collapsed_correlation):
+        from repro.core import generate_translation_unit
+
+        with pytest.raises(CodegenError):
+            generate_translation_unit(collapsed_correlation, schedule="adaptive")
+
+    def test_array_name_clashes_are_rejected(self, collapsed_correlation):
+        from repro.core import generate_translation_unit
+
+        with pytest.raises(CodegenError):
+            generate_translation_unit(collapsed_correlation, arrays=("i",))
+        with pytest.raises(CodegenError):
+            generate_translation_unit(collapsed_correlation, arrays=("repro_out",))
+
+    def test_c_identifier_shadowing_is_rejected(self, collapsed_correlation):
+        """An array macro named after a libm call we emit (or a C keyword)
+        would corrupt the generated recovery — refuse it up front instead of
+        surfacing a misleading compiler failure."""
+        from repro.core import generate_translation_unit
+
+        for name in ("floor", "creal", "isfinite", "double", "I"):
+            with pytest.raises(CodegenError, match="shadows"):
+                generate_translation_unit(collapsed_correlation, arrays=(name,))
+
+    def test_bisection_levels_are_emitted_not_rejected(self):
+        """Unlike the paper-figure printers, the TU generator covers levels
+        outside the degree-4 closed forms with an emitted exact search."""
+        from repro.core import collapse, generate_translation_unit
+
+        nest = LoopNest(
+            [
+                Loop.make("i", 0, "N"),
+                Loop.make("j", 0, "i + 1"),
+                Loop.make("k", 0, "j + 1"),
+                Loop.make("l", 0, "k + 1"),
+                Loop.make("m", 0, "l + 1"),
+            ],
+            parameters=["N"],
+            name="simplex5",
+        )
+        source = generate_translation_unit(collapse(nest))
+        assert "repro_lo < repro_hi" in source
+        assert "i_mid" in source

@@ -200,3 +200,57 @@ def test_property_engine_visits_match_run_original(case, schedule, runtime_engin
 
     assert sum(result.results) == iteration_count(nest, values)
     assert np.array_equal(visits, expected)
+
+
+# ---------------------------------------------------------------------- #
+# native backend equivalence
+# ---------------------------------------------------------------------- #
+def _native_or_skip():
+    from repro.native import native_available
+
+    if not native_available():
+        pytest.skip("no C compiler on this machine")
+
+
+@settings(max_examples=4, deadline=None)
+@given(case=affine_nests_depth2(), schedule=st.sampled_from(["static", "dynamic,3"]))
+def test_property_native_matches_engine_and_batch(case, schedule, runtime_engine):
+    """Differential property over random nests: the compiled translation
+    unit recovers the same iteration set as :class:`BatchRecovery` (every
+    ``pc``, hence every first/last rank of every level) and produces the
+    same visits grid as the runtime engine — under both the once-per-thread
+    and the once-per-chunk native recovery schemes."""
+    import numpy as np
+
+    _native_or_skip()
+    from repro.core import batch_recovery, collapse
+    from repro.native import compile_collapsed
+    from repro.runtime import SharedBuffers, build_plan
+
+    nest, values = case
+    assume(iteration_count(nest, values) > 0)
+    collapsed = collapse(nest)
+    total = collapsed.total_iterations(values)
+
+    module = compile_collapsed(
+        collapsed, body="visits(i, j) += 1.0;", arrays=("visits",), schedule=schedule
+    )
+    native_indices = module.recover_range(1, total, values)
+    batch_indices = batch_recovery(collapsed).recover_range(1, total, values)
+    assert np.array_equal(native_indices, batch_indices)
+    assert module.total(values) == total
+
+    native_visits = np.zeros(_GRID)
+    result = module.run({"visits": native_visits}, values, threads=2)
+    assert sum(result.results) == total
+
+    plan = build_plan(
+        nest, values, schedule="static",
+        iteration_op=_mark_visit, chunk_op=_mark_visits_chunk,
+    )
+    with SharedBuffers.create({"visits": np.zeros(_GRID)}) as buffers:
+        runtime_engine.execute(plan, buffers=buffers)
+        engine_visits = buffers.snapshot()["visits"]
+    runtime_engine.forget(plan)
+
+    assert np.array_equal(native_visits, engine_visits)

@@ -1,0 +1,83 @@
+"""Compiler discovery, the NativeUnavailable fallback and the on-disk cache."""
+
+import os
+import shutil
+
+import pytest
+
+from repro.native import (
+    NativeUnavailable,
+    cache_dir,
+    clear_native_cache,
+    compile_shared_library,
+    find_compiler,
+    native_available,
+)
+from repro.native import compiler as compiler_module
+
+requires_compiler = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on this machine"
+)
+
+_TINY_UNIT = "double repro_tiny(double x) { return x + %d.0; }\n"
+
+
+class TestDiscovery:
+    def test_no_compiler_means_unavailable(self, monkeypatch):
+        monkeypatch.delenv("CC", raising=False)
+        monkeypatch.setattr(shutil, "which", lambda _name: None)
+        assert find_compiler() is None
+        assert not native_available()
+        with pytest.raises(NativeUnavailable, match="no C compiler"):
+            compile_shared_library("int repro_x;\n")
+
+    def test_cc_override_wins_even_when_broken(self, monkeypatch):
+        """An explicit $CC must fail loudly, not silently fall back."""
+        monkeypatch.setenv("CC", "/nonexistent/compiler")
+        assert find_compiler() == "/nonexistent/compiler"
+        with pytest.raises(NativeUnavailable):
+            compile_shared_library("int repro_x;\n")
+
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path / "cache"))
+        assert cache_dir() == tmp_path / "cache"
+
+
+@requires_compiler
+class TestCompilationCache:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        self.cache = tmp_path
+
+    def test_compile_produces_source_and_library(self):
+        library = compile_shared_library(_TINY_UNIT % 1, tag="tiny")
+        assert library.exists()
+        assert library.parent == self.cache
+        assert library.with_suffix(".c").exists()
+
+    def test_second_compile_is_a_cache_hit(self, monkeypatch):
+        library = compile_shared_library(_TINY_UNIT % 2, tag="tiny")
+        first_mtime = library.stat().st_mtime_ns
+
+        def boom(*_args, **_kwargs):  # the compiler must not run again
+            raise AssertionError("cache miss: compiler was invoked twice")
+
+        monkeypatch.setattr(compiler_module.subprocess, "run", boom)
+        again = compile_shared_library(_TINY_UNIT % 2, tag="tiny")
+        assert again == library
+        assert again.stat().st_mtime_ns == first_mtime
+
+    def test_different_sources_get_different_libraries(self):
+        one = compile_shared_library(_TINY_UNIT % 3, tag="tiny")
+        two = compile_shared_library(_TINY_UNIT % 4, tag="tiny")
+        assert one != two
+
+    def test_compile_error_reports_stderr(self):
+        with pytest.raises(NativeUnavailable, match="compilation failed"):
+            compile_shared_library("this is not C\n", tag="broken")
+
+    def test_clear_native_cache_removes_artifacts(self):
+        compile_shared_library(_TINY_UNIT % 5, tag="tiny")
+        assert clear_native_cache() >= 2  # at least the .c/.so pair
+        assert not any(self.cache.glob("*.so"))

@@ -1,0 +1,389 @@
+"""Compile-and-run coverage of the native backend.
+
+Differential contract: everything the compiled translation unit computes —
+trip counts, recovered indices, kernel outputs, per-thread bookkeeping —
+must agree element-wise with the Python reference paths (scalar unranking,
+:class:`BatchRecovery`, ``run_original`` and the runtime engine).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import batch_recovery, collapse
+from repro.ir import enumerate_iterations, iteration_count
+from repro.native import (
+    NativeExecutionError,
+    NativeRunResult,
+    compile_collapsed,
+    compile_native_kernel,
+    native_available,
+)
+
+pytestmark = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on this machine"
+)
+
+
+def _dummy_op(data, indices, values):  # module-level: picklable for plans
+    pass
+
+
+# ---------------------------------------------------------------------- #
+# index recovery
+# ---------------------------------------------------------------------- #
+class TestRecovery:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic,3", "static,4", "guided"])
+    def test_recover_matches_batch_on_every_pc(self, figure6_nest, schedule):
+        collapsed = collapse(figure6_nest)
+        module = compile_collapsed(collapsed, schedule=schedule)
+        values = {"N": 12}
+        total = collapsed.total_iterations(values)
+        native = module.recover_range(1, total, values)
+        batch = batch_recovery(collapsed).recover_range(1, total, values)
+        assert np.array_equal(native, batch)
+
+    def test_total_matches_ranking(self, correlation_nest):
+        collapsed = collapse(correlation_nest)
+        module = compile_collapsed(collapsed)
+        for n in (1, 2, 7, 40, 1000):
+            assert module.total({"N": n}) == collapsed.total_iterations({"N": n})
+
+    def test_first_and_last_pc_of_every_level(self, correlation_nest):
+        """The boundary ranks — where the guarded floor earns its keep."""
+        collapsed = collapse(correlation_nest)
+        module = compile_collapsed(collapsed)
+        values = {"N": 60}
+        boundary_pcs = []
+        expected = []
+        rows = {}
+        for pc, indices in enumerate(
+            enumerate_iterations(correlation_nest, values), start=1
+        ):
+            rows.setdefault(indices[0], []).append((pc, indices))
+        for level_rows in rows.values():
+            for pc, indices in (level_rows[0], level_rows[-1]):
+                boundary_pcs.append(pc)
+                expected.append(indices)
+        for pc, indices in zip(boundary_pcs, expected):
+            assert tuple(module.recover_range(pc, pc, values)[0]) == indices
+
+    def test_bisection_fallback_matches_exact_recovery(self):
+        """Levels beyond the degree-4 closed forms run the emitted search."""
+        from repro.ir import Loop, LoopNest
+
+        nest = LoopNest(
+            [
+                Loop.make("i", 0, "N"),
+                Loop.make("j", 0, "i + 1"),
+                Loop.make("k", 0, "j + 1"),
+                Loop.make("l", 0, "k + 1"),
+                Loop.make("m", 0, "l + 1"),
+            ],
+            parameters=["N"],
+            name="simplex5",
+        )
+        collapsed = collapse(nest)
+        assert not collapsed.uses_only_closed_forms()
+        module = compile_collapsed(collapsed)
+        values = {"N": 6}
+        total = collapsed.total_iterations(values)
+        native = module.recover_range(1, total, values)
+        batch = batch_recovery(collapsed).recover_range(1, total, values)
+        assert np.array_equal(native, batch)
+
+    def test_empty_range_returns_empty(self, correlation_nest):
+        module = compile_collapsed(collapse(correlation_nest))
+        assert module.recover_range(5, 4, {"N": 10}).shape == (0, 2)
+
+    def test_missing_parameter_is_reported(self, correlation_nest):
+        module = compile_collapsed(collapse(correlation_nest))
+        with pytest.raises(NativeExecutionError, match="missing parameter"):
+            module.recover_range(1, 3, {})
+
+    def test_out_of_range_pcs_raise_like_batch_recovery(self, correlation_nest):
+        """No silent clamping: a miscalculated range must fail loudly, with
+        the same contract as BatchRecovery.recover_range."""
+        collapsed = collapse(correlation_nest)
+        module = compile_collapsed(collapsed)
+        values = {"N": 6}
+        total = collapsed.total_iterations(values)
+        with pytest.raises(NativeExecutionError, match=r"must lie in \[1, 15\]"):
+            module.recover_range(total - 1, total + 3, values)
+        with pytest.raises(NativeExecutionError, match="must lie in"):
+            module.recover_range(0, 2, values)
+
+    def test_run_rejects_last_pc_beyond_total(self):
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel("utma")
+        values = {"N": 16}
+        module = compile_native_kernel(kernel)
+        data = kernel.make_data(values)
+        with pytest.raises(NativeExecutionError, match="must lie in"):
+            module.run(data, values, last_pc=10**9)
+
+
+class TestGuardedFloorRegression:
+    """The headline bugfix: the emitted C used a bare ``floor(creal(...))``.
+
+    For the Fig. 6 tetrahedral nest at N=50 the closed-form cubic root of
+    the *first* iteration evaluates to ``-1.1e-16`` — an exact ``0``
+    mathematically, landing just below it in floats (the ``k - 1e-12``
+    boundary class).  A bare floor recovers ``i = -1``; the guarded floor
+    (epsilon + exact bracket correction, as the Python path always had)
+    recovers ``0``.
+    """
+
+    def test_unguarded_floor_reproduces_the_bug(self, figure6_nest):
+        collapsed = collapse(figure6_nest)
+        values = {"N": 50}
+        total = collapsed.total_iterations(values)
+        unguarded = compile_collapsed(collapsed, guard=False)
+        truth = batch_recovery(collapsed).recover_range(1, total, values)
+        recovered = unguarded.recover_range(1, total, values)
+        # pc=1 is the k - 1e-12 case: the bare floor lands one below
+        assert recovered[0, 0] == truth[0, 0] - 1 == -1
+        assert not np.array_equal(recovered, truth)
+
+    def test_guarded_floor_recovers_identically(self, figure6_nest):
+        collapsed = collapse(figure6_nest)
+        values = {"N": 50}
+        total = collapsed.total_iterations(values)
+        module = compile_collapsed(collapsed, schedule="static")
+        truth = batch_recovery(collapsed).recover_range(1, total, values)
+        assert np.array_equal(module.recover_range(1, total, values), truth)
+        # and the boundary iteration specifically
+        assert tuple(module.recover_range(1, 1, values)[0]) == (0, 0, 0)
+
+
+class TestSixtyFourBitArithmetic:
+    """Depth-3 domains overflow 32-bit counters before N reaches 2600; the
+    emitted ``long long`` arithmetic (pc, totals, recovered iterators and
+    CHUNK tests) must not truncate."""
+
+    N = 2560  # total = N (N+1) (N+2) / 6 = 2 799 403 520 > 2^31
+
+    def test_total_and_recovery_past_two_to_the_31(self, simplex3_nest):
+        collapsed = collapse(simplex3_nest)
+        values = {"N": self.N}
+        total = collapsed.total_iterations(values)
+        assert total > 2**31
+        module = compile_collapsed(collapsed)
+        assert module.total(values) == total
+        native = module.recover_range(total - 2, total, values)
+        expected = [collapsed.recover_indices(pc, values) for pc in range(total - 2, total + 1)]
+        assert [tuple(row) for row in native] == expected
+        assert tuple(native[-1]) == (self.N - 1, self.N - 1, self.N - 1)
+
+    def test_chunked_run_past_two_to_the_31(self, simplex3_nest):
+        """CHUNK modulo arithmetic on pc values beyond 2^31 (a window of the
+        huge domain, executed under a fixed-chunk schedule)."""
+        collapsed = collapse(simplex3_nest)
+        values = {"N": self.N}
+        total = collapsed.total_iterations(values)
+        first = total - 4999
+        module = compile_collapsed(
+            collapsed,
+            body="visits(i, j) += (double)(k + 1);",
+            arrays=("visits",),
+            schedule="dynamic,512",
+        )
+        visits = np.zeros((self.N, self.N))
+        result = module.run({"visits": visits}, values, first_pc=first, threads=2)
+        assert sum(result.results) == 5000
+        expected = np.zeros((self.N, self.N))
+        for i, j, k in batch_recovery(collapsed).recover_range(first, total, values):
+            expected[i, j] += k + 1
+        assert np.array_equal(visits, expected)
+
+
+# ---------------------------------------------------------------------- #
+# kernel execution
+# ---------------------------------------------------------------------- #
+class TestKernelExecution:
+    def test_every_native_kernel_verifies(self):
+        from repro.kernels import native_kernels, verify_kernel
+
+        kernels = native_kernels()
+        assert len(kernels) >= 10
+        for kernel in kernels:
+            assert verify_kernel(kernel, backend="native", recovery="compiled"), kernel.name
+
+    def test_utma_is_bit_identical_to_original_order(self):
+        """The triangular acceptance case: element-wise add, so the compiled
+        C and the Python paths must agree to the last bit."""
+        from repro.kernels import get_kernel, run_collapsed_native, run_original
+
+        kernel = get_kernel("utma")
+        values = {"N": 160}
+        original = run_original(kernel, values)
+        native = run_collapsed_native(kernel, values, threads=2)
+        assert np.array_equal(original["c"], native["c"])
+
+    def test_ltmp_depth3_reduction_matches(self):
+        """The depth-3 acceptance case: the non-collapsed k loop runs as a
+        real C loop inside each collapsed iteration."""
+        from repro.kernels import get_kernel, run_collapsed_native, run_original
+
+        kernel = get_kernel("ltmp")
+        values = {"N": 96}
+        original = run_original(kernel, values)
+        native = run_collapsed_native(kernel, values, threads=2)
+        assert np.allclose(original["c"], native["c"], atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["covariance", "symm", "cholesky_update", "lu_update"])
+    def test_elementwise_kernels_are_bit_identical(self, name):
+        from repro.kernels import get_kernel, run_collapsed_native, run_original
+
+        kernel = get_kernel(name)
+        values = dict(kernel.bench_parameters)
+        original = run_original(kernel, values)
+        native = run_collapsed_native(kernel, values, threads=2)
+        for array in original:
+            assert np.array_equal(original[array], native[array]), array
+
+    def test_run_result_carries_per_thread_timings(self):
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel("utma")
+        values = {"N": 64}
+        module = compile_native_kernel(kernel, schedule="static")
+        data = kernel.make_data(values)
+        result = module.run(data, values, threads=2)
+        assert isinstance(result, NativeRunResult)
+        assert result.backend == "native"
+        total = kernel.collapsed().total_iterations(values)
+        assert sum(result.results) == total
+        assert result.iterations == total  # EngineRunResult compatibility
+        assert len(result.chunk_seconds) == len(result.chunks) == len(result.results)
+        assert all(seconds >= 0.0 for seconds in result.chunk_seconds)
+        assert 1 <= result.workers <= 2
+        # static schedule: per-thread spans are disjoint and cover the range
+        covered = sorted((chunk.first, chunk.last) for chunk in result.chunks)
+        assert covered[0][0] == 1 and covered[-1][1] == total
+        for (first_a, last_a), (first_b, _last_b) in zip(covered, covered[1:]):
+            assert last_a < first_b
+
+    def test_iterations_counts_executed_work_under_dynamic_schedules(self):
+        """Per-thread pc spans overlap under on-demand hand-out; the result's
+        iteration count must come from the executed counts, not span sizes."""
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel("utma")
+        values = {"N": 96}
+        module = compile_native_kernel(kernel, schedule="dynamic,64")
+        result = module.run(kernel.make_data(values), values, threads=2)
+        total = kernel.collapsed().total_iterations(values)
+        assert sum(result.results) == total
+        assert result.iterations == total
+
+    def test_kernel_without_c_body_is_rejected(self):
+        from repro.kernels import get_kernel, run_collapsed_native
+
+        kernel = get_kernel("jacobi1d_skewed")
+        with pytest.raises(ValueError, match="native"):
+            run_collapsed_native(kernel, dict(kernel.bench_parameters))
+
+    def test_bad_array_dtype_is_rejected(self):
+        from repro.kernels import get_kernel
+
+        kernel = get_kernel("utma")
+        values = {"N": 16}
+        module = compile_native_kernel(kernel)
+        data = kernel.make_data(values)
+        data["c"] = data["c"].astype(np.float32)
+        with pytest.raises(NativeExecutionError, match="float64"):
+            module.run(data, values)
+
+
+# ---------------------------------------------------------------------- #
+# session / one-call integration
+# ---------------------------------------------------------------------- #
+class TestSessionBackend:
+    def test_session_native_matches_engine(self):
+        from repro.native import compiler as compiler_module
+        from repro.runtime import RuntimeSession
+
+        values = {"N": 96}
+        with RuntimeSession(workers=2) as session:
+            engine_data = session.run("utma", values)
+            native_data = session.run("utma", values, backend="native")
+            assert np.array_equal(engine_data["c"], native_data["c"])
+            # the second native call must reuse the memoised module — no
+            # compiler invocation allowed
+            import unittest.mock
+
+            with unittest.mock.patch.object(
+                compiler_module.subprocess, "run",
+                side_effect=AssertionError("module cache miss: compiler re-invoked"),
+            ):
+                again = session.run("utma", values, backend="native")
+            assert np.array_equal(again["c"], native_data["c"])
+
+    def test_collapse_and_run_backend_native(self):
+        from repro.kernels import get_kernel, run_original
+        from repro.runtime import RuntimeSession, collapse_and_run
+
+        values = {"N": 80}
+        with RuntimeSession(workers=2) as session:
+            data = collapse_and_run("utma", values, backend="native", session=session)
+        expected = run_original(get_kernel("utma"), values)
+        assert np.array_equal(data["c"], expected["c"])
+
+    def test_native_backend_rejects_ad_hoc_nests(self, correlation_nest):
+        from repro.runtime import RuntimeSession
+        from repro.runtime.plan import PlanError
+
+        with RuntimeSession(workers=1) as session:
+            with pytest.raises(PlanError, match="registered kernels"):
+                session.run(correlation_nest, {"N": 10}, backend="native")
+
+    def test_unknown_backend_is_rejected(self):
+        from repro.runtime import RuntimeSession
+        from repro.runtime.plan import PlanError
+
+        with RuntimeSession(workers=1) as session:
+            with pytest.raises(PlanError, match="unknown backend"):
+                session.run("utma", {"N": 10}, backend="fortran")
+
+    def test_native_backend_rejects_engine_only_kwargs(self):
+        from repro.runtime import RuntimeSession
+        from repro.runtime.plan import PlanError
+
+        with RuntimeSession(workers=1) as session:
+            with pytest.raises(PlanError, match="iteration_op"):
+                session.run("utma", {"N": 10}, backend="native", iteration_op=_dummy_op)
+            # named engine-only parameters are rejected too, not dropped
+            with pytest.raises(PlanError, match="depth"):
+                session.run("utma", {"N": 10}, backend="native", depth=1)
+            with pytest.raises(PlanError, match="recovery"):
+                session.run("utma", {"N": 10}, backend="native", recovery="symbolic")
+            with pytest.raises(PlanError, match="fresh_data"):
+                session.run("utma", {"N": 10}, backend="native", fresh_data=False)
+
+    def test_threads_is_explicit_and_engine_path_rejects_it(self):
+        from repro.kernels import get_kernel, run_original
+        from repro.runtime import RuntimeSession
+        from repro.runtime.plan import PlanError
+
+        values = {"N": 32}
+        with RuntimeSession(workers=1) as session:
+            data = session.run("utma", values, backend="native", threads=2)
+            expected = run_original(get_kernel("utma"), values)
+            assert np.array_equal(data["c"], expected["c"])
+            with pytest.raises(PlanError, match="native-backend option"):
+                session.run("utma", values, threads=2)
+
+    def test_caller_data_is_not_mutated(self):
+        from repro.kernels import get_kernel
+        from repro.runtime import RuntimeSession
+
+        kernel = get_kernel("utma")
+        values = {"N": 48}
+        data = kernel.make_data(values)
+        before = {name: value.copy() for name, value in data.items()}
+        with RuntimeSession(workers=1) as session:
+            result = session.run(kernel, values, data=data, backend="native")
+        for name in before:
+            assert np.array_equal(data[name], before[name])
+        assert not np.array_equal(result["c"], before["c"])
