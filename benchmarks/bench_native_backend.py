@@ -116,7 +116,8 @@ def native_rounds():
         "native_thread_iterations": list(last_result.results),
         "native_thread_seconds": list(last_result.chunk_seconds),
     }
-    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    # sorted keys: identical rounds produce byte-identical, diffable reports
+    JSON_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     yield report
 
 

@@ -115,7 +115,8 @@ def runtime_rounds():
         "speedup_engine_vs_serial": statistics.median(serial)
         / max(statistics.median(persistent), 1e-9),
     }
-    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    # sorted keys: identical rounds produce byte-identical, diffable reports
+    JSON_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     yield report
 
 

@@ -30,6 +30,7 @@ and ``long`` is 32 bits on some ABIs.
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Sequence, Tuple
 
 from ..polyhedra import AffineExpr
@@ -289,7 +290,7 @@ def generate_openmp_chunked(
 # complete translation units (the native backend's input)
 # ---------------------------------------------------------------------- #
 #: exported symbol names of every generated translation unit
-NATIVE_SYMBOLS = ("repro_total", "repro_recover_range", "repro_run")
+NATIVE_SYMBOLS = ("repro_total", "repro_recover_range", "repro_run", "repro_run_range")
 
 _RESERVED_PREFIX = "repro_"
 
@@ -327,6 +328,18 @@ def _check_names(collapsed: CollapsedLoop, arrays: Sequence[str]) -> None:
                 f"array name {name!r} clashes with an iterator or parameter of "
                 f"{collapsed.nest.name!r}"
             )
+        for other in arrays:
+            # each array macro generates a `other_p` pointer and `other_st`
+            # / `other_st<digit>` stride constants; an array literally named
+            # like one of those would shadow them inside the generated
+            # functions (but e.g. `a_step` next to `a` is fine)
+            if other != name and re.fullmatch(
+                re.escape(other) + r"_(p|st\d*)", name
+            ):
+                raise CodegenError(
+                    f"array name {name!r} collides with the generated pointer/stride "
+                    f"identifiers of array {other!r}; rename it"
+                )
     for name in list(used) + list(arrays):
         if name.startswith(_RESERVED_PREFIX):
             raise CodegenError(
@@ -338,6 +351,85 @@ def _check_names(collapsed: CollapsedLoop, arrays: Sequence[str]) -> None:
                 f"name {name!r} shadows a C keyword or library identifier the "
                 "generated translation unit uses; rename it"
             )
+
+
+def resolve_array_ndims(arrays: Sequence[str], array_ndims) -> Tuple[int, ...]:
+    """Per-array dimensionalities (default 2-D, the historical contract)."""
+    ndims = []
+    mapping = dict(array_ndims or {})
+    unknown = set(mapping) - set(arrays)
+    if unknown:
+        raise CodegenError(
+            f"array_ndims names arrays not in the arrays list: {sorted(unknown)}"
+        )
+    for name in arrays:
+        ndim = int(mapping.get(name, 2))
+        if ndim < 1:
+            raise CodegenError(f"array {name!r} must have at least 1 dimension, got {ndim}")
+        ndims.append(ndim)
+    return tuple(ndims)
+
+
+def _stride_names(name: str, ndim: int) -> List[str]:
+    """The generated stride-constant identifiers of one array.
+
+    2-D keeps the historical single ``name_st``; other ranks use
+    ``name_st0 .. name_st{ndim-2}`` (the innermost dimension has stride 1 and
+    needs no constant).
+    """
+    if ndim == 2:
+        return [f"{name}_st"]
+    return [f"{name}_st{d}" for d in range(ndim - 1)]
+
+
+def _array_macro_lines(arrays: Sequence[str], ndims: Sequence[int]) -> List[str]:
+    """One access macro per array: ``name(i0, .., i{n-1})`` row-major.
+
+    The 2-D spelling (``name(repro_r, repro_c)``) is kept verbatim for
+    backward compatibility of generated sources and kernel bodies; 1-D
+    arrays need no stride at all, N-D arrays multiply each leading index by
+    its element stride (the product of the trailing extents, supplied at run
+    time through the flat strides table).
+    """
+    lines: List[str] = []
+    for name, ndim in zip(arrays, ndims):
+        if ndim == 1:
+            lines.append(f"#define {name}(repro_i0) ({name}_p[(long long)(repro_i0)])")
+        elif ndim == 2:
+            lines.append(
+                f"#define {name}(repro_r, repro_c) "
+                f"({name}_p[(long long)(repro_r) * {name}_st + (long long)(repro_c)])"
+            )
+        else:
+            args = ", ".join(f"repro_i{d}" for d in range(ndim))
+            strides = _stride_names(name, ndim)
+            terms = [
+                f"(long long)(repro_i{d}) * {strides[d]}" for d in range(ndim - 1)
+            ]
+            terms.append(f"(long long)(repro_i{ndim - 1})")
+            lines.append(f"#define {name}({args}) ({name}_p[{' + '.join(terms)}])")
+    return lines
+
+
+def _array_prologue_lines(
+    arrays: Sequence[str], ndims: Sequence[int], indent: str
+) -> List[str]:
+    """Pointer and stride declarations binding the macros to the arguments.
+
+    The strides argument is a flat table: each array contributes
+    ``ndim - 1`` consecutive entries (element strides of its leading
+    dimensions, row-major), so all-2-D units keep the historical
+    one-stride-per-array layout.
+    """
+    lines: List[str] = []
+    offset = 0
+    for position, (name, ndim) in enumerate(zip(arrays, ndims)):
+        parts = [f"double *restrict {name}_p = repro_arrays[{position}];"]
+        for slot, stride in enumerate(_stride_names(name, ndim) if ndim > 1 else []):
+            parts.append(f"const long long {stride} = repro_strides[{offset + slot}];")
+        lines.append(indent + " ".join(parts))
+        offset += max(0, ndim - 1)
+    return lines
 
 
 def _param_prologue(collapsed: CollapsedLoop, indent: str) -> List[str]:
@@ -406,10 +498,11 @@ def generate_translation_unit(
     arrays: Sequence[str] = (),
     schedule: object = "static",
     guard: bool = True,
+    array_ndims=None,
 ) -> str:
     """A complete C translation unit for one collapsed nest.
 
-    The unit exports three functions (see :data:`NATIVE_SYMBOLS`):
+    The unit exports four functions (see :data:`NATIVE_SYMBOLS`):
 
     * ``long long repro_total(const long long *params)`` — the collapsed
       trip count for concrete parameter values (``params`` in the order of
@@ -422,13 +515,23 @@ def generate_translation_unit(
       double *seconds, long long *first, long long *last)`` — executes
       ``body`` for every ``pc`` of the range under the requested OpenMP
       schedule and reports, per thread, the iteration count, wall-clock
-      seconds and the span of ``pc`` values it ran; returns the team size.
+      seconds and the span of ``pc`` values it ran; returns the team size;
+    * ``long long repro_run_range(params, first_pc, last_pc, arrays,
+      strides)`` — the *serial* sub-range entry point of the hybrid
+      backend: recovers the indices once at ``first_pc`` and walks the
+      contiguous chunk with Fig. 4-style incrementation, executing ``body``
+      at every iteration; returns the executed count.  No OpenMP team is
+      started — the caller (a runtime-engine worker) owns the parallelism.
 
     ``body`` is C source executed once per collapsed iteration with the
     recovered iterators and the parameters in scope as ``long long``; each
-    name in ``arrays`` is a 2-D row-major ``double`` array accessed through
-    a generated ``name(row, col)`` macro.  ``guard=False`` reproduces the
-    historical unguarded floor (regression tests only).
+    name in ``arrays`` is a row-major ``double`` array accessed through a
+    generated ``name(i0, .., i{n-1})`` macro.  ``array_ndims`` maps array
+    names to their rank (default 2, the historical contract); the strides
+    argument of ``repro_run``/``repro_run_range`` is a flat table with
+    ``ndim - 1`` leading-dimension element strides per array, so all-2-D
+    units keep the one-stride-per-array ABI.  ``guard=False`` reproduces
+    the historical unguarded floor (regression tests only).
 
     The recovery scheme follows the schedule: one recovery per thread under
     plain ``static`` (Fig. 4), one per chunk for fixed-chunk schedules
@@ -437,6 +540,7 @@ def generate_translation_unit(
     from ..openmp.schedule import ScheduleSpec
 
     _check_names(collapsed, arrays)
+    ndims = resolve_array_ndims(arrays, array_ndims)
     try:
         spec = ScheduleSpec.parse(schedule)
     except ValueError as error:
@@ -462,11 +566,7 @@ def generate_translation_unit(
         "#endif",
         "",
     ]
-    for name in arrays:
-        lines.append(
-            f"#define {name}(repro_r, repro_c) "
-            f"({name}_p[(long long)(repro_r) * {name}_st + (long long)(repro_c)])"
-        )
+    lines.extend(_array_macro_lines(arrays, ndims))
     if arrays:
         lines.append("")
 
@@ -526,11 +626,7 @@ def generate_translation_unit(
         "              long long *repro_firsts, long long *repro_lasts) {"
     )
     lines.extend(_param_prologue(collapsed, "  "))
-    for position, name in enumerate(arrays):
-        lines.append(
-            f"  double *restrict {name}_p = repro_arrays[{position}]; "
-            f"const long long {name}_st = repro_strides[{position}];"
-        )
+    lines.extend(_array_prologue_lines(arrays, ndims, "  "))
     lines.append("  int repro_used = 1;")
     lines.append("  if (repro_max_threads < 1) repro_max_threads = 1;")
     lines.append("  if (last_pc < first_pc) return 0;")
@@ -558,5 +654,38 @@ def generate_translation_unit(
     lines.append("  }")
     lines.append("#endif")
     lines.append("  return repro_used;")
+    lines.append("}")
+    lines.append("")
+
+    # ---- run_range (serial chunk entry point of the hybrid backend) ---- #
+    lines.append(
+        "long long repro_run_range(const long long *repro_params, long long first_pc,"
+    )
+    lines.append(
+        "                          long long last_pc, double *const *repro_arrays,"
+    )
+    lines.append(
+        "                          const long long *repro_strides) {"
+    )
+    lines.extend(_param_prologue(collapsed, "  "))
+    lines.extend(_array_prologue_lines(arrays, ndims, "  "))
+    lines.append("  (void)repro_arrays; (void)repro_strides;")
+    lines.append("  if (last_pc < first_pc) return 0;")
+    lines.append(f"  {declare_iters}")
+    lines.append("  {")
+    lines.append("    /* chunk ranges are contiguous: recover once, then increment */")
+    lines.append("    const long long pc = first_pc;")
+    lines.extend("    " + line for line in _c_recovery_lines(collapsed, guard=guard))
+    lines.append("  }")
+    lines.append("  for (long long pc = first_pc; pc <= last_pc; pc++) {")
+    lines.append("    (void)pc;")
+    if body is not None:
+        lines.append("    {")
+        lines.extend("      " + line for line in body.strip("\n").splitlines())
+        lines.append("    }")
+    lines.append("    /* indices incrementation as in the original loop nest */")
+    lines.extend("    " + line for line in _c_increment_lines(collapsed))
+    lines.append("  }")
+    lines.append("  return last_pc - first_pc + 1;")
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -11,7 +11,7 @@ cheap index recovery relies on).
 """
 
 from .loopnest import ArrayAccess, Loop, LoopNest, Statement
-from .parser import parse_loop_nest, ParseError
+from .parser import native_array_ndims, native_body, parse_loop_nest, ParseError
 from .dependences import DependenceTestResult, may_carry_dependence, dependence_report
 from .iteration import Odometer, enumerate_iterations, iteration_count
 
@@ -20,6 +20,8 @@ __all__ = [
     "Loop",
     "LoopNest",
     "Statement",
+    "native_array_ndims",
+    "native_body",
     "parse_loop_nest",
     "ParseError",
     "DependenceTestResult",

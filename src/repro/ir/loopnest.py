@@ -82,12 +82,16 @@ class Statement:
 
     ``compute`` is an optional callable ``compute(indices, arrays)`` invoked
     by the executors with a ``{iterator: value}`` mapping and the dictionary
-    of NumPy arrays (or any other state) attached to the run.
+    of NumPy arrays (or any other state) attached to the run.  ``c_text``
+    optionally carries the statement as one line of C source (set by the
+    parser for array-assignment statements), which lets the native backend
+    emit a ``c_body`` for ad-hoc nests — see :func:`repro.ir.parser.native_body`.
     """
 
     name: str
     accesses: Tuple[ArrayAccess, ...] = ()
     compute: Optional[Callable[[Mapping[str, int], Dict[str, object]], None]] = None
+    c_text: Optional[str] = None
 
     def reads(self) -> Tuple[ArrayAccess, ...]:
         return tuple(a for a in self.accesses if not a.is_write)

@@ -11,9 +11,20 @@ examples and tests can be written the way the paper prints them::
 
 Only the subset needed for the Fig. 5 model is supported: perfectly nested
 ``for`` loops with ``<`` or ``<=`` upper bounds, unit increments, affine
-bound expressions, an optional ``collapse(n)`` pragma and a single statement
-line naming the body.  Anything else raises :class:`ParseError` with a
-useful message.
+bound expressions, an optional ``collapse(n)`` pragma and statement lines
+naming the body.  Anything else raises :class:`ParseError` with a useful
+message.
+
+Statements come in two shapes:
+
+* opaque calls, the way the paper prints them — ``S(i, j);`` — which name
+  the body but carry no array information;
+* array assignments in the generated-macro style of the native backend —
+  ``c(i, j) = a(i, j) + b(i, j);`` or ``visits(i, j) += 1.0;`` — which are
+  parsed into :class:`~repro.ir.loopnest.ArrayAccess`\\ es (so the
+  dependence tests see them) *and* keep their raw C text, so
+  :func:`native_body` can hand the whole nest to the native/hybrid
+  backends as a compilable ``c_body``.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..polyhedra import AffineExpr
-from .loopnest import Loop, LoopNest, Statement
+from .loopnest import ArrayAccess, Loop, LoopNest, Statement
 
 _FOR_RE = re.compile(
     r"""for\s*\(\s*
@@ -37,6 +48,27 @@ _FOR_RE = re.compile(
 _PRAGMA_RE = re.compile(r"#pragma\s+omp\s+.*", re.IGNORECASE)
 _COLLAPSE_RE = re.compile(r"collapse\s*\(\s*(\d+)\s*\)", re.IGNORECASE)
 _STATEMENT_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*\((?P<args>[^)]*)\)\s*;?\s*\}*\s*$")
+_ASSIGN_RE = re.compile(
+    r"""^(?P<array>[A-Za-z_]\w*)\s*\((?P<subs>[^()]*)\)\s*
+        (?P<op>[-+*/]?=)(?!=)\s*
+        (?P<rhs>[^;]+);\s*\}*\s*$""",
+    re.VERBOSE,
+)
+_ACCESS_RE = re.compile(r"(?P<name>[A-Za-z_]\w*)\s*\((?P<subs>[^()]*)\)")
+
+#: identifiers on a right-hand side that are C library calls, not array
+#: reads — the C99 <math.h> roster.  Extend this set (it is consulted
+#: live) before parsing statements that call anything more exotic; an
+#: unlisted callee with parenthesised affine arguments is indistinguishable
+#: from an array access and will be recorded as one.
+C_MATH_CALLS = {
+    "sqrt", "cbrt", "fabs", "exp", "exp2", "expm1", "log", "log2", "log10",
+    "log1p", "pow", "hypot", "sin", "cos", "tan", "asin", "acos", "atan",
+    "atan2", "sinh", "cosh", "tanh", "asinh", "acosh", "atanh", "floor",
+    "ceil", "rint", "round", "trunc", "nearbyint", "fmin", "fmax", "fmod",
+    "remainder", "fdim", "fma", "copysign", "erf", "erfc", "tgamma",
+    "lgamma",
+}
 
 
 class ParseError(ValueError):
@@ -65,6 +97,119 @@ def _parse_pragma(line: str) -> ParsedPragma:
         if schedule_match.group(2):
             chunk = int(schedule_match.group(2))
     return ParsedPragma(collapse, schedule, chunk)
+
+
+def _parse_subscripts(text: str, context: str) -> Tuple[AffineExpr, ...]:
+    try:
+        return tuple(AffineExpr.parse(part) for part in text.split(","))
+    except ValueError as error:
+        raise ParseError(f"non-affine subscript in {context!r}: {error}") from error
+
+
+def _parse_assignment(line: str) -> Optional[Statement]:
+    """An array-assignment statement, or ``None`` when the line is not one.
+
+    ``c(i, j) = a(i, j) + b(i, j);`` becomes a statement that *both* the
+    dependence tests (through its :class:`ArrayAccess` tuple — the write,
+    plus a read of the target for compound ``+=``-style operators, plus
+    every affine-subscripted read on the right-hand side) and the native
+    backend (through the raw line kept in ``Statement.c_text``) understand.
+    C math calls (``sqrt`` & friends) are recognised and not mistaken for
+    array reads; any other callee must have affine subscripts.
+    """
+    match = _ASSIGN_RE.match(line)
+    if match is None:
+        return None
+    array = match.group("array")
+    subscripts = _parse_subscripts(match.group("subs"), line)
+    accesses = [ArrayAccess(array, subscripts, is_write=True)]
+    if match.group("op") != "=":  # compound assignment also reads the target
+        accesses.append(ArrayAccess(array, subscripts, is_write=False))
+    rhs = match.group("rhs")
+    recorded = set()
+    for read in _ACCESS_RE.finditer(rhs):
+        callee = read.group("name")
+        if not read.group("subs").strip():
+            recorded.add(callee)  # zero-argument call: a function, not an access
+            continue
+        # the write target is proven to be an array by the LHS, even when
+        # its name shadows a math call (an array named 'exp'): dropping the
+        # read would hide a loop-carried dependence
+        if callee in C_MATH_CALLS and callee != array:
+            continue
+        recorded.add(callee)
+        accesses.append(
+            ArrayAccess(callee, _parse_subscripts(read.group("subs"), line), is_write=False)
+        )
+    # every parenthesised callee must be either a known math call or a
+    # captured access: an array read whose subscripts the pattern cannot
+    # represent (e.g. 'c((i - 1), j)') must fail loudly, not vanish from
+    # the dependence tests
+    for callee_match in re.finditer(r"([A-Za-z_]\w*)\s*\(", rhs):
+        callee = callee_match.group(1)
+        if callee not in C_MATH_CALLS and callee not in recorded:
+            raise ParseError(
+                f"cannot parse the subscripts of {callee!r} in {line!r}; write them "
+                "without nested parentheses (e.g. 'a(i - 1, j)'), or add the name to "
+                "repro.ir.parser.C_MATH_CALLS if it is a pure function"
+            )
+    # keep exactly statement-through-semicolon: the close braces the line
+    # pattern tolerates are nest syntax, not statement text — emitting them
+    # into a C body would unbalance the generated translation unit
+    c_text = line[: match.end("rhs")].rstrip() + ";"
+    return Statement(name=f"{array}_update", accesses=tuple(accesses), c_text=c_text)
+
+
+def native_body(nest: LoopNest) -> Tuple[str, Tuple[str, ...]]:
+    """The C body and array list of a nest whose statements carry C text.
+
+    Returns ``(c_body, arrays)`` ready for the native/hybrid backends
+    (:func:`repro.native.compile_collapsed`,
+    :func:`repro.runtime.build_plan`): the statements' raw C lines joined in
+    order, plus every accessed array in first-appearance order.  Raises
+    :class:`ParseError` when any statement is opaque (``S(i, j);`` carries
+    no C text the backend could compile).  Array ranks for the generated
+    access macros come from :func:`native_array_ndims`.
+    """
+    lines: List[str] = []
+    arrays: List[str] = []
+    for statement in nest.statements:
+        if statement.c_text is None:
+            raise ParseError(
+                f"statement {statement.name!r} of nest {nest.name!r} has no C text; "
+                "only array-assignment statements (e.g. 'c(i, j) = a(i, j) + b(i, j);') "
+                "can be emitted as a native body"
+            )
+        lines.append(statement.c_text)
+        for access in statement.accesses:
+            if access.array not in arrays:
+                arrays.append(access.array)
+    if not lines:
+        raise ParseError(f"nest {nest.name!r} has no statements to emit as a native body")
+    return "\n".join(lines), tuple(arrays)
+
+
+def native_array_ndims(nest: LoopNest) -> dict:
+    """Each accessed array's rank, read off the parsed subscript counts.
+
+    ``hist(i)`` is 1-D, ``c(i, j)`` 2-D, ``cube(i, j, k)`` 3-D — the rank
+    of the generated access macro must match, so the native backends feed
+    this mapping to ``array_ndims``.  An array accessed with *different*
+    subscript counts in the same nest has no single valid macro; that is a
+    :class:`ParseError`.
+    """
+    ndims: dict = {}
+    for statement in nest.statements:
+        for access in statement.accesses:
+            rank = len(access.subscripts)
+            previous = ndims.setdefault(access.array, rank)
+            if previous != rank:
+                raise ParseError(
+                    f"array {access.array!r} of nest {nest.name!r} is accessed with "
+                    f"both {previous} and {rank} subscripts; one access macro cannot "
+                    "serve both"
+                )
+    return ndims
 
 
 def parse_loop_nest(
@@ -109,6 +254,11 @@ def parse_loop_nest(
                 upper = upper + 1
             loops.append(Loop(iterator, lower, upper))
             continue
+        if loops:
+            assignment = _parse_assignment(line)
+            if assignment is not None:
+                statements.append(assignment)
+                continue
         statement_match = _STATEMENT_RE.match(line)
         if statement_match and loops:
             statements.append(Statement(statement_match.group("name")))

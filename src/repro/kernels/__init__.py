@@ -28,6 +28,7 @@ from . import polybench, triangular, tiled  # noqa: F401  (registration side eff
 from .execution import (
     run_collapsed_chunks,
     run_collapsed_engine,
+    run_collapsed_hybrid,
     run_collapsed_native,
     run_original,
     verify_kernel,
@@ -43,6 +44,7 @@ __all__ = [
     "register_kernel",
     "run_collapsed_chunks",
     "run_collapsed_engine",
+    "run_collapsed_hybrid",
     "run_collapsed_native",
     "run_original",
     "verify_kernel",

@@ -120,9 +120,14 @@ def run_collapsed_native(
     """Run the kernel's collapsed loop through the compiled native backend.
 
     The generated C/OpenMP translation unit of the kernel (its ``c_body``
-    under ``schedule``) is compiled once — cached on disk by source hash —
-    and executed over the whole ``pc`` range on a private copy of the data.
-    Raises :class:`repro.native.NativeUnavailable` on machines without a C
+    under ``schedule``) is compiled once — cached on disk by source hash
+    under ``$REPRO_NATIVE_CACHE``, compiler from ``$CC`` or the first of
+    ``cc``/``gcc``/``clang`` — and executed over the whole ``pc`` range on
+    a private copy of the data.  The engine-only ``"adaptive"`` policy has
+    no OpenMP spelling and normalises to ``static``
+    (:func:`repro.native.compile_native_kernel` does it, so every
+    kernel-compiling path agrees).  Raises
+    :class:`repro.native.NativeUnavailable` on machines without a C
     compiler; callers wanting a soft feature test use
     :func:`repro.native.native_available`.
     """
@@ -134,6 +139,44 @@ def run_collapsed_native(
     module = compile_native_kernel(kernel, schedule=schedule)
     module.run(data, parameter_values, threads=threads)
     return data
+
+
+def run_collapsed_hybrid(
+    kernel: Kernel,
+    parameter_values: Mapping[str, int],
+    data: Optional[DataDict] = None,
+    workers: int = 2,
+    schedule: str = "adaptive",
+    session=None,
+) -> DataDict:
+    """Run the kernel under the engine's scheduling at native chunk speed.
+
+    The hybrid backend: the persistent :class:`repro.runtime.RuntimeEngine`
+    plans and hands out chunks exactly as :func:`run_collapsed_engine` does
+    (any policy, including the cost-model ``"adaptive"`` one), but each
+    worker executes its chunks through the compiled translation unit's
+    serial ``repro_run_range`` over the shared-memory buffers.  The kernel
+    must carry a ``c_body`` (the capability being requested); a missing
+    *compiler*, by contrast, degrades cleanly to the pure-Python engine,
+    so on any machine with the capability the result — element-wise
+    identical either way — is produced.
+    """
+    from ..runtime import collapse_and_run  # deferred: runtime sits above kernels
+
+    if not kernel.supports_native:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no native C body (c_body), so the hybrid "
+            "backend cannot apply; use run_collapsed_engine for Python-only kernels"
+        )
+    return collapse_and_run(
+        kernel,
+        parameter_values,
+        workers=workers,
+        schedule=schedule,
+        data=_clone_data(data) if data is not None else None,
+        session=session,
+        backend="hybrid",
+    )
 
 
 def verify_kernel(
@@ -153,13 +196,24 @@ def verify_kernel(
     the back end the collapsed run uses (see :func:`run_collapsed_chunks`).
     Passing a :class:`repro.runtime.RuntimeSession` additionally runs the
     kernel through the parallel engine and requires that result to match
-    the original order too.  ``backend="native"`` additionally runs the
-    compiled C/OpenMP translation unit of the kernel and requires *its*
-    result to match as well (raising
-    :class:`repro.native.NativeUnavailable` where no compiler exists).
+    the original order too.
+
+    ``backend`` widens the gate beyond the Python paths:
+
+    * ``"native"`` additionally runs the compiled C/OpenMP translation unit
+      whole-range and requires *its* result to match (raising
+      :class:`repro.native.NativeUnavailable` where no compiler exists —
+      this backend is explicitly about the compiled artefact);
+    * ``"hybrid"`` additionally runs the engine-scheduled native-chunk
+      path (:func:`run_collapsed_hybrid`); the kernel needs a ``c_body``
+      (raising :class:`ValueError` otherwise), but where merely the
+      *compiler* is missing the run is silently engine-executed — the
+      contract there is the result, not the substrate.
     """
-    if backend not in ("python", "native"):
-        raise ValueError(f"unknown backend {backend!r}; expected 'python' or 'native'")
+    if backend not in ("python", "native", "hybrid"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'python', 'native' or 'hybrid'"
+        )
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
     parameter_values = dict(parameter_values or kernel.bench_parameters)
@@ -190,5 +244,25 @@ def verify_kernel(
         )
         for name in original:
             if not np.allclose(original[name], native_result[name], atol=atol):
+                return False
+    if backend == "hybrid":
+        ephemeral = None
+        run_session = session
+        if run_session is None:
+            # never create the process-wide default session as a side
+            # effect of a verification call: a private pool is torn down
+            # with the check
+            from ..runtime import RuntimeSession
+
+            ephemeral = run_session = RuntimeSession(workers=2)
+        try:
+            hybrid_result = run_collapsed_hybrid(
+                kernel, parameter_values, initial, session=run_session
+            )
+        finally:
+            if ephemeral is not None:
+                ephemeral.close()
+        for name in original:
+            if not np.allclose(original[name], hybrid_result[name], atol=atol):
                 return False
     return True

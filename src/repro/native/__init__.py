@@ -33,7 +33,9 @@ from .compiler import (
     openmp_flags,
 )
 from .module import (
+    NativeChunkRunner,
     NativeExecutionError,
+    NativeLibrarySpec,
     NativeModule,
     NativeRunResult,
     clear_module_cache,
@@ -50,7 +52,9 @@ __all__ = [
     "find_compiler",
     "native_available",
     "openmp_flags",
+    "NativeChunkRunner",
     "NativeExecutionError",
+    "NativeLibrarySpec",
     "NativeModule",
     "NativeRunResult",
     "clear_module_cache",

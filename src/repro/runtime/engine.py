@@ -63,6 +63,12 @@ class EngineRunResult:
     ``assignments`` the worker that ran each chunk, ``chunk_seconds`` each
     chunk's own wall-clock time inside its worker (the load-balance view;
     their sum can exceed ``elapsed_seconds`` when workers overlap).
+    ``backend`` names the execution substrate that *actually* ran the
+    chunks, as reported back by the workers: ``"engine"`` (Python/NumPy
+    chunk ops — including a hybrid plan whose workers had to degrade),
+    ``"hybrid"`` (every chunk went through the plan's compiled
+    ``repro_run_range``) or ``"native"``
+    (:class:`~repro.native.NativeRunResult`, whole-range OpenMP).
     """
 
     results: Tuple[Any, ...]
@@ -72,6 +78,7 @@ class EngineRunResult:
     schedule: ScheduleSpec
     assignments: Tuple[int, ...] = ()
     chunk_seconds: Tuple[float, ...] = ()
+    backend: str = "engine"
 
     @property
     def iterations(self) -> int:
@@ -92,6 +99,8 @@ class _WorkerPlan:
         self.iteration_op = payload["iteration_op"]
         self.chunk_op = payload["chunk_op"]
         self.recovery = payload["recovery"]
+        self.native = payload.get("native")
+        self.native_runner = None
         self.buffers: Optional[SharedBuffers] = None
         kernel_name = payload["kernel_name"]
         if kernel_name is not None:
@@ -112,19 +121,62 @@ class _WorkerPlan:
     def attach(self, specs: Tuple[SharedArraySpec, ...]) -> None:
         self.release_buffers()
         self.buffers = SharedBuffers.attach(specs)
+        self._bind_native()
+
+    def _bind_native(self) -> None:
+        """Load the plan's compiled library (once) and bind the new buffers.
+
+        The parent compiled the translation unit before dispatching; this
+        side only ``dlopen``\\ s the cached shared object by path.  A load
+        or bind failure (the cache wiped between compile and dispatch, data
+        the C ABI cannot take — wrong dtype/rank) degrades to the Python
+        operations, which compute the identical result — hybrid is a speed
+        contract, not a semantic one.  Only a plan with *no* Python
+        operations re-raises, because nothing could execute its chunks.
+        """
+        self.native_runner = None
+        if self.native is None or self.buffers is None:
+            return
+        from ..native.module import NativeChunkRunner, NativeExecutionError
+
+        try:
+            runner = NativeChunkRunner(self.native)
+            runner.bind(self.buffers.arrays, self.parameter_values)
+        except (OSError, NativeExecutionError):
+            if self.iteration_op is None and self.chunk_op is None:
+                raise  # native-only plan: surfaced at the first chunk
+            # fall back to the Python ops for *these* buffers only — the
+            # spec stays, so the next attach (new buffers, restored cache)
+            # retries the native binding
+            return
+        self.native_runner = runner
 
     def release_buffers(self) -> None:
+        self.native_runner = None  # pointer tables reference the mapped views
         if self.buffers is not None:
             self.buffers.close()
             self.buffers = None
 
     def execute(self, first_pc: int, last_pc: int) -> int:
-        """Run one chunk against the attached shared arrays; return its size."""
+        """Run one chunk against the attached shared arrays; return its size.
+
+        Preference order: the plan's compiled ``repro_run_range`` (hybrid
+        backend, one foreign call per chunk), then the vectorized
+        ``chunk_op`` over a batch-recovered index array, then the scalar
+        ``iteration_op`` walk.
+        """
+        if self.native_runner is not None:
+            return self.native_runner.run_range(first_pc, last_pc)
         data = self.buffers.arrays if self.buffers is not None else {}
         if self.chunk_op is not None and self.batch is not None:
             indices = self.batch.recover_range(first_pc, last_pc, self.parameter_values)
             self.chunk_op(data, indices, self.parameter_values)
             return int(indices.shape[0])
+        if self.iteration_op is None:
+            raise EngineError(
+                "plan has no Python operations to fall back on (native-only plan "
+                "whose compiled library could not be loaded in this worker)"
+            )
         count = 0
         for index_tuple in self.chunk_indices(first_pc, last_pc):
             self.iteration_op(data, index_tuple, self.parameter_values)
@@ -171,7 +223,10 @@ def _worker_main(worker_id: int, commands, results) -> None:
                 if state is None:
                     raise EngineError(f"plan {plan_id!r} is not registered in worker {worker_id}")
                 count = state.execute(first_pc, last_pc)
-                results.put(("ok", task_id, worker_id, count, time.perf_counter() - started))
+                native = state.native_runner is not None
+                results.put(
+                    ("ok", task_id, worker_id, count, time.perf_counter() - started, native)
+                )
             except Exception:
                 results.put(("error", task_id, worker_id, traceback.format_exc(), 0.0))
         elif tag == "call":
@@ -344,8 +399,10 @@ class RuntimeEngine:
         hand-out); ``on_demand`` is an ordered list of (task_id, message):
         each worker is primed with one and gets the next the moment it
         reports back (the dynamic hand-out).  Returns task_id ->
-        ("ok", value, worker, seconds); raises after draining every
-        in-flight task if any worker errored, leaving the pool clean.
+        ("ok", value, worker, seconds, native) — ``native`` reports whether
+        the worker executed the chunk through a compiled library; raises
+        after draining every in-flight task if any worker errored, leaving
+        the pool clean.
         """
         outcomes: Dict[int, tuple] = {}
         failures: List[str] = []
@@ -368,9 +425,10 @@ class RuntimeEngine:
                 outstanding += 1
             if tag == "error":
                 failures.append(f"worker {worker_id}:\n{message[3]}")
-                outcomes[task_id] = ("error", None, worker_id, 0.0)
+                outcomes[task_id] = ("error", None, worker_id, 0.0, False)
             else:
-                outcomes[task_id] = ("ok", message[3], worker_id, message[4])
+                native = message[5] if len(message) > 5 else False
+                outcomes[task_id] = ("ok", message[3], worker_id, message[4], native)
             outstanding -= 1
         if failures:
             raise EngineError("engine worker failed:\n" + "\n".join(failures))
@@ -395,6 +453,7 @@ class RuntimeEngine:
             return EngineRunResult(
                 results=(), elapsed_seconds=0.0, chunks=(), workers=self.workers,
                 schedule=plan.schedule,
+                backend="hybrid" if plan.native_spec is not None else "engine",
             )
         start = time.perf_counter()
         assigned: Dict[int, list] = {}
@@ -411,6 +470,15 @@ class RuntimeEngine:
         outcomes = self._run_tasks(assigned, on_demand)
         elapsed = time.perf_counter() - start
         ordered = [outcomes[task_id] for task_id in task_ids]
+        # the substrate that *actually executed*: a hybrid plan whose workers
+        # all ran the compiled library reports "hybrid"; if any worker had to
+        # degrade to the Python ops (library unloadable, un-bindable data),
+        # the honest answer is "engine"
+        backend = (
+            "hybrid"
+            if plan.native_spec is not None and all(outcome[4] for outcome in ordered)
+            else "engine"
+        )
         return EngineRunResult(
             results=tuple(outcome[1] for outcome in ordered),
             elapsed_seconds=elapsed,
@@ -419,6 +487,7 @@ class RuntimeEngine:
             schedule=plan.schedule,
             assignments=tuple(outcome[2] for outcome in ordered),
             chunk_seconds=tuple(outcome[3] for outcome in ordered),
+            backend=backend,
         )
 
     def map_chunks(

@@ -24,9 +24,12 @@ from __future__ import annotations
 import itertools
 import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (native imports runtime)
+    from ..native.module import NativeLibrarySpec
 
 from ..core import CollapsedLoop, batch_recovery, collapse, resolve_recovery_backend
 from ..ir import LoopNest
@@ -139,6 +142,11 @@ class ExecutionPlan:
     recovery: str = "compiled"
     oversubscribe: int = DEFAULT_OVERSUBSCRIBE
     cost_model: Optional[CostModel] = field(default=None, compare=False)
+    #: attachment recipe of the plan's compiled translation unit (set by
+    #: ``build_plan(native=True)``): the parent compiles once, workers load
+    #: the cached shared object by path and run chunks through its serial
+    #: ``repro_run_range`` — the hybrid backend's substrate
+    native_spec: Optional["NativeLibrarySpec"] = None
     #: chunk partitions per worker count — plans are immutable, so a policy's
     #: partition is deterministic and computed once (the adaptive one walks
     #: the whole pc range; paying that on every dispatch would tax the very
@@ -198,7 +206,55 @@ class ExecutionPlan:
             "iteration_op": None if self.kernel_name else self.iteration_op,
             "chunk_op": None if self.kernel_name else self.chunk_op,
             "recovery": self.recovery,
+            "native": self.native_spec,
         }
+
+
+def _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims):
+    """Compile the plan's translation unit in the parent; return its spec.
+
+    The C body comes from (in order) the caller's explicit ``c_body``, a
+    registered kernel's ``c_body``, or the C text the parser attached to an
+    ad-hoc nest's array-assignment statements
+    (:func:`repro.ir.parser.native_body`).  The unit is compiled with the
+    ``static`` whole-range schedule — the hybrid path only ever calls the
+    schedule-independent serial ``repro_run_range``, so all hybrid plans of
+    one nest share one cached shared object regardless of their engine
+    schedule.  Raises :class:`~repro.native.NativeUnavailable` without a C
+    compiler (callers fall back to the pure-Python engine) and
+    :class:`PlanError` when no C body exists at all.
+    """
+    from ..ir.parser import ParseError, native_array_ndims, native_body
+    from ..kernels import Kernel  # deferred: kernels import runtime helpers
+    from ..native import compile_collapsed  # deferred: native imports runtime
+
+    body, arrays = c_body, tuple(c_arrays)
+    if body is None and isinstance(source, Kernel):
+        body, arrays = source.c_body, source.c_arrays
+    if body is None and isinstance(source, LoopNest):
+        try:
+            body, arrays = native_body(source)
+        except ParseError:
+            body = None  # opaque statements: fall through to the no-body error
+        else:
+            if array_ndims is None:  # macro ranks follow the parsed subscripts
+                try:
+                    array_ndims = native_array_ndims(source)
+                except ParseError as error:
+                    # the nest HAS a body; hiding a rank conflict behind a
+                    # "no C body" message would point the caller at the
+                    # wrong fix
+                    raise PlanError(str(error)) from None
+    if body is None:
+        raise PlanError(
+            f"cannot build a native plan for {getattr(source, 'name', source)!r}: "
+            "no C body (pass c_body=/c_arrays=, use a kernel with c_body, or parse "
+            "the nest from array-assignment statements)"
+        )
+    module = compile_collapsed(
+        collapsed, body=body, arrays=arrays, schedule="static", array_ndims=array_ndims
+    )
+    return module.library_spec()
 
 
 def build_plan(
@@ -210,6 +266,10 @@ def build_plan(
     oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
     iteration_op: Optional[Callable] = None,
     chunk_op: Optional[Callable] = None,
+    native: bool = False,
+    c_body: Optional[str] = None,
+    c_arrays: Sequence[str] = (),
+    array_ndims: Optional[Mapping[str, int]] = None,
 ) -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` from a kernel, nest or collapsed loop.
 
@@ -219,6 +279,15 @@ def build_plan(
     :class:`~repro.core.CollapsedLoop`.  Ad-hoc ``iteration_op``/``chunk_op``
     must be module-level (picklable) functions; registered kernels need
     neither, their operations resolve from the registry inside each worker.
+
+    ``native=True`` additionally compiles the nest's C translation unit *in
+    the calling process* (kernel ``c_body``, explicit ``c_body``/``c_arrays``
+    or parser-derived statements; ``array_ndims`` for non-2-D arrays) and
+    attaches its :class:`~repro.native.NativeLibrarySpec` to the plan:
+    engine workers then load the cached shared object by path and execute
+    their chunks through the serial ``repro_run_range`` at C speed — the
+    hybrid backend.  Raises :class:`~repro.native.NativeUnavailable` where
+    no C compiler exists.
     """
     from ..kernels import Kernel, get_kernel  # deferred: kernels import runtime helpers
 
@@ -244,9 +313,15 @@ def build_plan(
     else:
         raise PlanError(f"cannot build a plan from {type(source).__name__}")
 
-    if kernel_name is None and iteration_op is None and chunk_op is None:
+    native_spec = None
+    if native:
+        native_spec = _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims)
+    elif c_body is not None or c_arrays:
+        raise PlanError("c_body/c_arrays are native-plan options; pass native=True")
+
+    if kernel_name is None and iteration_op is None and chunk_op is None and native_spec is None:
         raise PlanError("a plan needs a kernel or at least one of iteration_op/chunk_op")
-    if kernel_name is None and iteration_op is None and recovery != "compiled":
+    if kernel_name is None and iteration_op is None and chunk_op is not None and recovery != "compiled":
         # workers only take the chunk_op fast path when a compiled batch
         # recovery exists; without an iteration_op to fall back on, a
         # symbolic-recovery plan could never execute — fail at build time
@@ -275,4 +350,5 @@ def build_plan(
         recovery=recovery,
         oversubscribe=oversubscribe,
         cost_model=cost_model,
+        native_spec=native_spec,
     )

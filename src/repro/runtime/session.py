@@ -45,6 +45,18 @@ def _structural_key(plan_source, parameter_values, spec, recovery, depth) -> tup
             plan_source.name,
             tuple((l.iterator, l.lower, l.upper) for l in plan_source.loops),
             tuple(plan_source.parameters),
+            # statements are behavior now, not just metadata: hybrid/native
+            # plans compile their C body from them, so two same-shaped nests
+            # with different statements must never share a plan
+            tuple(
+                (
+                    statement.name,
+                    statement.c_text,
+                    tuple(str(access) for access in statement.accesses),
+                    getattr(statement.compute, "__qualname__", None),
+                )
+                for statement in plan_source.statements
+            ),
         )
     else:
         # CollapsedLoop: identity is safe *because* the cache pins it — the
@@ -139,13 +151,29 @@ class RuntimeSession:
         functions); they run against the caller's shared ``data`` buffers
         if given, and the return value is the :class:`EngineRunResult`.
 
-        ``backend`` selects the execution substrate: ``"engine"`` (the
-        default) dispatches chunks to the persistent worker pool;
-        ``"native"`` compiles the kernel's generated C/OpenMP translation
-        unit (memoised in-process and on disk) and runs it in-process —
-        see :meth:`run_native`.  ``threads`` caps the native OpenMP team
-        (defaulting to the engine's worker count) and is rejected on the
-        engine backend, whose parallelism is the session's ``workers``.
+        ``backend`` selects the execution substrate:
+
+        * ``"engine"`` (default) — chunks dispatched to the persistent
+          worker pool, executed by the Python/NumPy operations;
+        * ``"hybrid"`` — same pool, same schedules (including
+          ``"adaptive"``), but each worker executes its chunks through the
+          compiled translation unit's serial ``repro_run_range`` (the
+          parent compiles once — disk-cached under ``$REPRO_NATIVE_CACHE``
+          — and workers attach the shared object by path).  Where no C
+          compiler exists (``$CC``, ``cc``, ``gcc``, ``clang`` all absent)
+          the call *falls back to the engine backend* instead of raising;
+          an actual compilation *failure* with a compiler present (e.g. a
+          broken caller ``c_body``) still raises, because silence there
+          would hide a bug;
+        * ``"native"`` — one in-process ``ctypes`` call into the
+          whole-range OpenMP ``repro_run`` — see :meth:`run_native`.  This
+          backend raises :class:`~repro.native.NativeUnavailable` without a
+          compiler (no silent fallback: its OpenMP team and schedule are
+          the thing being requested).
+
+        ``threads`` caps the native OpenMP team (defaulting to the engine's
+        worker count) and is rejected on the engine/hybrid backends, whose
+        parallelism is the session's ``workers``.
         """
         from ..kernels import get_kernel
 
@@ -166,15 +194,50 @@ class RuntimeSession:
             return self.run_native(
                 source, parameter_values, data=data, schedule=schedule, threads=threads
             )
-        if backend != "engine":
-            raise PlanError(f"unknown backend {backend!r}; expected 'engine' or 'native'")
+        if backend not in ("engine", "hybrid"):
+            raise PlanError(
+                f"unknown backend {backend!r}; expected 'engine', 'hybrid' or 'native'"
+            )
         if threads is not None:
             raise PlanError(
                 "threads is a native-backend option; the engine's parallelism is "
                 "the session's worker count (set workers= when creating it)"
             )
 
-        plan = self.plan_for(source, parameter_values, schedule, depth, recovery, **plan_kwargs)
+        if backend == "hybrid":
+            # deferred import: the native backend is optional
+            from ..native import NativeUnavailable, native_available
+
+            try:
+                plan = self.plan_for(
+                    source, parameter_values, schedule, depth, recovery,
+                    native=True, **plan_kwargs,
+                )
+            except NativeUnavailable as unavailable:
+                if native_available():
+                    # a compiler exists, so this is a real compilation
+                    # failure (e.g. a broken user c_body) — surface it
+                    # instead of silently running the slow engine
+                    raise
+                # no C compiler: the engine computes the identical result,
+                # just without the per-chunk C speed — degrade, don't fail.
+                # Native-only options must not reach the engine plan.
+                engine_kwargs = {
+                    name: value for name, value in plan_kwargs.items()
+                    if name not in ("c_body", "c_arrays", "array_ndims")
+                }
+                try:
+                    plan = self.plan_for(
+                        source, parameter_values, schedule, depth, recovery,
+                        **engine_kwargs,
+                    )
+                except PlanError:
+                    # the engine cannot run this source either (no Python
+                    # ops): the actionable problem is the missing compiler,
+                    # so that is the error the caller must see
+                    raise unavailable from None
+        else:
+            plan = self.plan_for(source, parameter_values, schedule, depth, recovery, **plan_kwargs)
         kernel = None
         if plan.kernel_name is not None:
             kernel = get_kernel(plan.kernel_name)
@@ -227,28 +290,36 @@ class RuntimeSession:
 
         The kernel's translation unit is compiled once per (kernel,
         schedule) — memoised process-wide and cached on disk by source hash
-        — so repeated calls are a single ``ctypes`` dispatch; the return
-        value is the result ``DataDict``, element-wise comparable to the
-        engine's.  ``source`` must be a registered kernel (name or
-        :class:`~repro.kernels.Kernel`) with a ``c_body`` — ad-hoc nests
-        carry Python callables the C generator cannot translate.  The
-        engine-only ``"adaptive"`` policy has no OpenMP spelling and maps
-        to ``static`` here; ``threads`` defaults to the engine's worker
-        count, keeping the two backends' parallelism comparable.
+        under ``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro-native``),
+        with the compiler taken from ``$CC`` or the first of
+        ``cc``/``gcc``/``clang`` — so repeated calls are a single
+        ``ctypes`` dispatch; the return value is the result ``DataDict``,
+        element-wise comparable to the engine's.  ``source`` must be a
+        registered kernel (name or :class:`~repro.kernels.Kernel`) with a
+        ``c_body`` — for ad-hoc nests use ``backend="hybrid"`` (parsed
+        array-assignment statements compile to a native body) or the
+        engine.  The engine-only ``"adaptive"`` policy has no OpenMP
+        spelling and maps to ``static`` here; ``threads`` defaults to the
+        engine's worker count, keeping the backends' parallelism
+        comparable.  Raises :class:`~repro.native.NativeUnavailable` where
+        no C compiler exists.
         """
+        from ..ir import LoopNest
         from ..kernels import Kernel, run_collapsed_native
         from ..kernels import get_kernel
         from ..openmp.schedule import ScheduleKind
 
-        kernel = get_kernel(source) if isinstance(source, str) else source
-        if not isinstance(kernel, Kernel):
-            raise PlanError(
-                f"the native backend runs registered kernels, not {type(source).__name__}; "
-                "use backend='engine' for ad-hoc nests"
-            )
         spec = ScheduleSpec.parse(schedule)
         if spec.kind is ScheduleKind.ADAPTIVE:
             spec = ScheduleSpec.parse("static")
+        if isinstance(source, LoopNest):
+            return self._run_native_nest(source, parameter_values, data, spec, threads)
+        kernel = get_kernel(source) if isinstance(source, str) else source
+        if not isinstance(kernel, Kernel):
+            raise PlanError(
+                f"the native backend runs registered kernels and parsed nests, not "
+                f"{type(source).__name__}; use backend='engine' for Python-only sources"
+            )
         # compiled modules are memoised process-wide (repro.native.module)
         # and on disk by source hash, so repeated session calls recompile
         # nothing; the execution itself is the one shared implementation
@@ -259,6 +330,36 @@ class RuntimeSession:
             schedule=spec,
             threads=threads or self.engine.workers,
         )
+
+    def _run_native_nest(self, nest, parameter_values, data, spec, threads):
+        """Whole-range native execution of an ad-hoc parsed nest.
+
+        The nest's array-assignment statements (their ``c_text``) become the
+        translation unit's body; ``data`` provides the arrays and is mutated
+        in place, mirroring the engine's nest contract.  Returns the
+        :class:`~repro.native.NativeRunResult`.
+        """
+        from ..core import collapse
+        from ..ir.parser import ParseError, native_array_ndims, native_body
+        from ..native import compile_collapsed
+
+        try:
+            body, arrays = native_body(nest)
+            ndims = native_array_ndims(nest)
+        except ParseError as error:
+            raise PlanError(
+                f"the native backend needs a C body, and nest {nest.name!r} has none "
+                f"({error}); use backend='engine' with Python ops instead"
+            ) from None
+        if data is None:
+            raise PlanError(
+                f"running nest {nest.name!r} natively needs data= arrays "
+                f"for {list(arrays)}"
+            )
+        module = compile_collapsed(
+            collapse(nest), body=body, arrays=arrays, schedule=spec, array_ndims=ndims
+        )
+        return module.run(data, parameter_values, threads=threads or self.engine.workers)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -320,11 +421,26 @@ def collapse_and_run(
     :meth:`RuntimeSession.run`.  Without an explicit ``session`` the default
     session is used (its engine starts on the first call and persists, so
     repeated calls pay no pool start-up; ``workers`` only takes effect on
-    the call that creates it).  ``backend="native"`` routes a registered
-    kernel through the compiled C/OpenMP backend instead of the worker
-    pool::
+    the call that creates it).
 
-        data = collapse_and_run("utma", {"N": 512}, backend="native")
+    ``backend`` picks the execution substrate (full decision matrix in
+    ``docs/architecture.md``):
+
+    * ``"engine"`` (default) — persistent worker pool, Python/NumPy chunk
+      execution, every schedule policy including ``"adaptive"``;
+    * ``"hybrid"`` — the same pool and schedules, each chunk executed
+      natively through the compiled translation unit's ``repro_run_range``
+      (adaptive scheduling *and* C speed; falls back to ``"engine"`` when
+      no C compiler is found);
+    * ``"native"`` — one whole-range call into the compiled C/OpenMP
+      ``repro_run`` (raises :class:`~repro.native.NativeUnavailable`
+      without a compiler).
+
+    Compiled shared objects are cached on disk under
+    ``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro-native``) and the
+    compiler is picked from ``$CC``, then ``cc``/``gcc``/``clang``::
+
+        data = collapse_and_run("utma", {"N": 512}, backend="hybrid")
     """
     session = session or default_session(workers=workers)
     return session.run(source, parameter_values, data=data, schedule=schedule, **run_kwargs)

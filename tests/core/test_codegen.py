@@ -222,6 +222,93 @@ class TestTranslationUnit:
             with pytest.raises(CodegenError, match="shadows"):
                 generate_translation_unit(collapsed_correlation, arrays=(name,))
 
+    def test_run_range_is_serial_and_recovers_once(self, collapsed_correlation):
+        """The hybrid backend's sub-range entry point: no OpenMP pragma of
+        its own, one recovery at first_pc, Fig. 4 incrementation."""
+        from repro.core import generate_translation_unit
+
+        source = generate_translation_unit(collapsed_correlation, schedule="guided")
+        _, _, run_range = source.partition("long long repro_run_range")
+        assert run_range, "repro_run_range missing from the translation unit"
+        assert "#pragma omp" not in run_range
+        assert "const long long pc = first_pc;" in run_range
+        assert "indices incrementation" in run_range
+        assert "return last_pc - first_pc + 1;" in run_range
+
+    def test_one_dimensional_array_macro_has_no_stride(self, collapsed_correlation):
+        from repro.core import generate_translation_unit
+
+        source = generate_translation_unit(
+            collapsed_correlation,
+            body="hist(i) += 1.0;",
+            arrays=("hist",),
+            array_ndims={"hist": 1},
+        )
+        assert "#define hist(repro_i0) (hist_p[(long long)(repro_i0)])" in source
+        assert "hist_st" not in source
+
+    def test_three_dimensional_macro_and_flat_strides_layout(self, collapsed_correlation):
+        """A 3-D array consumes two strides slots; a following 2-D array's
+        single stride comes after them in the flat table."""
+        from repro.core import generate_translation_unit
+
+        source = generate_translation_unit(
+            collapsed_correlation,
+            body="cube(i, j, 0) += flat(i, j);",
+            arrays=("cube", "flat"),
+            array_ndims={"cube": 3},
+        )
+        assert (
+            "#define cube(repro_i0, repro_i1, repro_i2) "
+            "(cube_p[(long long)(repro_i0) * cube_st0 + "
+            "(long long)(repro_i1) * cube_st1 + (long long)(repro_i2)])"
+        ) in source
+        assert "const long long cube_st0 = repro_strides[0];" in source
+        assert "const long long cube_st1 = repro_strides[1];" in source
+        assert "const long long flat_st = repro_strides[2];" in source
+
+    def test_two_dimensional_macro_spelling_is_unchanged(self, collapsed_correlation):
+        """Back-compat: all-2-D units keep the historical macro and the
+        one-stride-per-array ABI (kernel c_bodies rely on it)."""
+        from repro.core import generate_translation_unit
+
+        source = generate_translation_unit(
+            collapsed_correlation, body="v(i, j) += 1.0;", arrays=("v",)
+        )
+        assert (
+            "#define v(repro_r, repro_c) "
+            "(v_p[(long long)(repro_r) * v_st + (long long)(repro_c)])"
+        ) in source
+        assert "const long long v_st = repro_strides[0];" in source
+
+    def test_bad_array_ndims_are_rejected(self, collapsed_correlation):
+        from repro.core import generate_translation_unit
+
+        with pytest.raises(CodegenError, match="at least 1 dimension"):
+            generate_translation_unit(
+                collapsed_correlation, arrays=("v",), array_ndims={"v": 0}
+            )
+        with pytest.raises(CodegenError, match="not in the arrays list"):
+            generate_translation_unit(
+                collapsed_correlation, arrays=("v",), array_ndims={"w": 2}
+            )
+
+    def test_array_name_colliding_with_stride_identifiers_is_rejected(
+        self, collapsed_correlation
+    ):
+        from repro.core import generate_translation_unit
+
+        for clash in ("v_st", "v_p", "v_st0"):
+            with pytest.raises(CodegenError, match="pointer/stride"):
+                generate_translation_unit(collapsed_correlation, arrays=("v", clash))
+        # merely *extending* a generated identifier is not a collision
+        source = generate_translation_unit(
+            collapsed_correlation,
+            body="v(i, j) += v_step(i, j);",
+            arrays=("v", "v_step"),
+        )
+        assert "#define v_step(repro_r, repro_c)" in source
+
     def test_bisection_levels_are_emitted_not_rejected(self):
         """Unlike the paper-figure printers, the TU generator covers levels
         outside the degree-4 closed forms with an emitted exact search."""

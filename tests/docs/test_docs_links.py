@@ -1,0 +1,71 @@
+"""The documentation link check (also run as a dedicated CI step).
+
+Two invariants keep the docs navigable as they grow:
+
+* no dead relative links — every ``[text](relative/path)`` in the README
+  and under ``docs/`` must point at a file that exists in the repository;
+* no orphan documents — every ``docs/*.md`` must be reachable from the
+  ``docs/README.md`` table of contents (transitively), and the top-level
+  README must link into ``docs/``.
+
+External (``http...``) and pure-anchor (``#...``) links are out of scope —
+this is a repository-consistency check, not a crawler.
+"""
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+
+#: markdown inline links, excluding images; good enough for our own docs
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _relative_links(markdown_file: Path):
+    for match in _LINK_RE.finditer(markdown_file.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def _documentation_files():
+    return [REPO_ROOT / "README.md", *sorted(DOCS_DIR.glob("*.md"))]
+
+
+def test_docs_directory_has_an_index():
+    assert (DOCS_DIR / "README.md").is_file(), "docs/README.md (the TOC) is missing"
+
+
+def test_no_dead_relative_links():
+    dead = []
+    for markdown_file in _documentation_files():
+        for target in _relative_links(markdown_file):
+            if not (markdown_file.parent / target).exists():
+                dead.append(f"{markdown_file.relative_to(REPO_ROOT)} -> {target}")
+    assert not dead, "dead relative links:\n" + "\n".join(dead)
+
+
+def test_every_doc_is_reachable_from_the_docs_index():
+    """BFS over relative links from docs/README.md must cover docs/*.md."""
+    index = DOCS_DIR / "README.md"
+    seen = {index.resolve()}
+    frontier = [index]
+    while frontier:
+        current = frontier.pop()
+        for target in _relative_links(current):
+            resolved = (current.parent / target).resolve()
+            if resolved.suffix == ".md" and resolved.is_file() and resolved not in seen:
+                seen.add(resolved)
+                frontier.append(resolved)
+    orphans = [
+        path.name for path in sorted(DOCS_DIR.glob("*.md")) if path.resolve() not in seen
+    ]
+    assert not orphans, f"docs not reachable from docs/README.md: {orphans}"
+
+
+def test_top_level_readme_links_into_docs():
+    targets = set(_relative_links(REPO_ROOT / "README.md"))
+    assert any(target.startswith("docs/") for target in targets)
+    assert "docs/README.md" in targets, "README must link the docs index"

@@ -25,6 +25,7 @@ def run_example(name: str, argument: str) -> subprocess.CompletedProcess:
         ("triangular_matrix_operations.py", "80", "gain vs static"),
         ("pluto_tiled_and_skewed.py", "128", "gain vs static"),
         ("vectorization_and_gpu.py", "32", "warp size"),
+        ("hybrid_backend.py", "96", "results identical across backends"),
     ],
 )
 def test_example_runs_and_prints_its_checks(script, argument, expected):

@@ -254,3 +254,47 @@ def test_property_native_matches_engine_and_batch(case, schedule, runtime_engine
     runtime_engine.forget(plan)
 
     assert np.array_equal(native_visits, engine_visits)
+
+
+@settings(max_examples=4, deadline=None)
+@given(case=affine_nests_depth2(), schedule=st.sampled_from(["static", "adaptive"]))
+def test_property_hybrid_matches_engine_and_native(case, schedule, runtime_engine):
+    """Differential property over random nests for the *hybrid* backend:
+    engine-scheduled chunks executed through the compiled
+    ``repro_run_range`` must produce the same visits grid as (a) the pure
+    Python engine and (b) the whole-range native ``repro_run`` — each
+    worker having attached the parent-compiled shared object by path."""
+    import numpy as np
+
+    _native_or_skip()
+    from repro.core import collapse
+    from repro.native import compile_collapsed
+    from repro.runtime import SharedBuffers, build_plan
+
+    nest, values = case
+    assume(iteration_count(nest, values) > 0)
+
+    expected = np.zeros(_GRID)
+    for indices in enumerate_iterations(nest, values):
+        expected[indices] += 1.0
+
+    hybrid_plan = build_plan(
+        nest, values, schedule=schedule,
+        iteration_op=_mark_visit, chunk_op=_mark_visits_chunk,
+        native=True, c_body="visits(i, j) += 1.0;", c_arrays=("visits",),
+    )
+    assert hybrid_plan.native_spec is not None
+    with SharedBuffers.create({"visits": np.zeros(_GRID)}) as buffers:
+        result = runtime_engine.execute(hybrid_plan, buffers=buffers)
+        hybrid_visits = buffers.snapshot()["visits"]
+    runtime_engine.forget(hybrid_plan)
+    assert result.backend == "hybrid"
+    assert sum(result.results) == iteration_count(nest, values)
+    assert np.array_equal(hybrid_visits, expected)
+
+    native_visits = np.zeros(_GRID)
+    module = compile_collapsed(
+        collapse(nest), body="visits(i, j) += 1.0;", arrays=("visits",)
+    )
+    module.run({"visits": native_visits}, values, threads=2)
+    assert np.array_equal(native_visits, hybrid_visits)

@@ -117,3 +117,156 @@ class TestRoundTrip:
         nest, _ = parse_loop_nest(CORRELATION_SOURCE, parameters=["N"])
         reparsed, _ = parse_loop_nest(nest.source(), parameters=["N"])
         assert reparsed.bounds() == nest.bounds()
+
+
+class TestAssignmentStatements:
+    """Array-assignment statements: dependence-visible accesses + C text."""
+
+    SOURCE = """
+    #pragma omp parallel for collapse(2) schedule(static)
+    for (i = 0; i < N; i++)
+      for (j = i; j < N; j++)
+        c(i, j) = a(i, j) + b(i, j);
+    """
+
+    def test_accesses_and_c_text(self):
+        nest, _ = parse_loop_nest(self.SOURCE, parameters=["N"])
+        (statement,) = nest.statements
+        assert statement.c_text == "c(i, j) = a(i, j) + b(i, j);"
+        assert [str(w) for w in statement.writes()] == ["W:c[i][j]"]
+        assert [str(r) for r in statement.reads()] == ["R:a[i][j]", "R:b[i][j]"]
+
+    def test_compound_assignment_also_reads_the_target(self):
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  v(i, i) += w(i, 0);", parameters=["N"]
+        )
+        (statement,) = nest.statements
+        assert [str(w) for w in statement.writes()] == ["W:v[i][i]"]
+        assert [str(r) for r in statement.reads()] == ["R:v[i][i]", "R:w[i][0]"]
+
+    def test_math_calls_are_not_array_reads(self):
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  v(i, 0) = sqrt(w(i, i));", parameters=["N"]
+        )
+        (statement,) = nest.statements
+        assert {access.array for access in statement.accesses} == {"v", "w"}
+
+    def test_array_shadowing_a_math_call_keeps_its_reads(self):
+        """An array named 'exp' is proven an array by the LHS write; its
+        RHS read must not vanish (it can carry a dependence)."""
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  exp(i, 0) = exp(i, 1) + 1.0;",
+            parameters=["N"],
+        )
+        (statement,) = nest.statements
+        assert [str(r) for r in statement.reads()] == ["R:exp[i][1]"]
+
+    def test_whole_c99_math_roster_is_recognised(self):
+        """log10, tanh & friends must not become phantom array reads."""
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n"
+            "  v(i, 0) = log10(i + 1) + tanh(i) + hypot(i, i + 1);",
+            parameters=["N"],
+        )
+        (statement,) = nest.statements
+        assert {access.array for access in statement.accesses} == {"v"}
+
+    def test_math_roster_is_user_extensible(self):
+        from repro.ir.parser import C_MATH_CALLS
+
+        C_MATH_CALLS.add("my_helper")
+        try:
+            nest, _ = parse_loop_nest(
+                "for (i = 0; i < N; i++)\n  v(i, 0) = my_helper(i + 1);",
+                parameters=["N"],
+            )
+            assert {a.array for a in nest.statements[0].accesses} == {"v"}
+        finally:
+            C_MATH_CALLS.discard("my_helper")
+
+    def test_native_array_ndims_follow_subscript_counts(self):
+        from repro.ir import native_array_ndims
+
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  hist(i) += w(i, 0);", parameters=["N"]
+        )
+        assert native_array_ndims(nest) == {"hist": 1, "w": 2}
+
+    def test_inconsistent_subscript_counts_are_rejected(self):
+        from repro.ir import native_array_ndims
+
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  v(i) = v(i, 0);", parameters=["N"]
+        )
+        with pytest.raises(ParseError, match="both 1 and 2 subscripts"):
+            native_array_ndims(nest)
+
+    def test_non_affine_subscript_is_rejected(self):
+        with pytest.raises(ParseError, match="subscript"):
+            parse_loop_nest(
+                "for (i = 0; i < N; i++)\n  v(i * i, 0) = 1.0;", parameters=["N"]
+            )
+
+    def test_parenthesised_subscripts_fail_loudly_not_silently(self):
+        """A read like c((i - 1), j) cannot be captured by the access
+        pattern; dropping it would hide a loop-carried dependence, so the
+        parser must refuse the line instead."""
+        with pytest.raises(ParseError, match="nested parentheses"):
+            parse_loop_nest(
+                "for (i = 1; i < N; i++)\n  c(i, 0) = c((i - 1), 0);",
+                parameters=["N"],
+            )
+
+    def test_c_text_excludes_tolerated_close_braces(self):
+        """Brace-style sources are accepted, but nest syntax must not leak
+        into the emitted C body (unbalanced braces would not compile)."""
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++) {\n"
+            "  for (j = i; j < N; j++) {\n"
+            "    visits(i, j) += 1.0; }}",
+            parameters=["N"],
+        )
+        assert nest.statements[0].c_text == "visits(i, j) += 1.0;"
+
+    def test_zero_argument_calls_are_tolerated_as_functions(self):
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  v(i, 0) = f();", parameters=["N"]
+        )
+        assert {a.array for a in nest.statements[0].accesses} == {"v"}
+
+    def test_native_body_joins_statements_and_orders_arrays(self):
+        from repro.ir import native_body
+
+        nest, _ = parse_loop_nest(self.SOURCE, parameters=["N"])
+        body, arrays = native_body(nest)
+        assert body == "c(i, j) = a(i, j) + b(i, j);"
+        assert arrays == ("c", "a", "b")
+
+    def test_native_body_refuses_opaque_statements(self):
+        from repro.ir import native_body
+
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  S(i);", parameters=["N"]
+        )
+        with pytest.raises(ParseError, match="no C text"):
+            native_body(nest)
+
+    def test_opaque_statements_still_parse(self):
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  S(i);", parameters=["N"]
+        )
+        assert nest.statements[0].name == "S"
+        assert nest.statements[0].c_text is None
+
+    def test_dependence_test_sees_parsed_accesses(self):
+        """A parsed reduction (c(0,0) += ...) carries a loop-carried
+        dependence the conservative test must flag; the element-wise
+        assignment must pass."""
+        from repro.ir import may_carry_dependence
+
+        reduction, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  c(0, 0) += a(i, 0);", parameters=["N"]
+        )
+        assert may_carry_dependence(reduction, 1)
+        elementwise, _ = parse_loop_nest(self.SOURCE, parameters=["N"])
+        assert not may_carry_dependence(elementwise, 2)

@@ -295,6 +295,77 @@ class TestKernelExecution:
         with pytest.raises(NativeExecutionError, match="float64"):
             module.run(data, values)
 
+    def test_run_range_covers_the_range_in_serial_chunks(self):
+        """The hybrid entry point: arbitrary contiguous sub-ranges executed
+        serially must compose to exactly the whole-range result."""
+        from repro.kernels import get_kernel, run_original
+
+        kernel = get_kernel("utma")
+        values = {"N": 80}
+        module = compile_native_kernel(kernel)
+        total = kernel.collapsed().total_iterations(values)
+        data = kernel.make_data(values)
+        executed = 0
+        for first in range(1, total + 1, 113):
+            executed += module.run_range(data, values, first, min(first + 112, total))
+        assert executed == total
+        expected = run_original(kernel, values)
+        assert np.array_equal(data["c"], expected["c"])
+        # empty ranges execute nothing, out-of-range ranges fail loudly
+        assert module.run_range(data, values, 5, 4) == 0
+        with pytest.raises(NativeExecutionError, match="must lie in"):
+            module.run_range(data, values, total, total + 1)
+
+    def test_one_dimensional_arrays_run_natively(self, correlation_nest):
+        """The N-D macro gap closed: a 1-D trace array, indexed by pc."""
+        from repro.core import batch_recovery, collapse
+
+        collapsed = collapse(correlation_nest)
+        values = {"N": 40}
+        total = collapsed.total_iterations(values)
+        module = compile_collapsed(
+            collapsed,
+            body="trace(pc - 1) = (double)(i * 1000 + j);",
+            arrays=("trace",),
+            array_ndims={"trace": 1},
+        )
+        trace = np.zeros(total)
+        result = module.run({"trace": trace}, values, threads=2)
+        assert sum(result.results) == total
+        indices = batch_recovery(collapsed).recover_range(1, total, values)
+        assert np.array_equal(trace, (indices[:, 0] * 1000 + indices[:, 1]).astype(float))
+
+    def test_three_dimensional_arrays_run_natively(self, correlation_nest):
+        from repro.core import collapse
+        from repro.ir import enumerate_iterations
+
+        collapsed = collapse(correlation_nest)
+        values = {"N": 12}
+        module = compile_collapsed(
+            collapsed,
+            body="cube(i, j, 1) += 1.0;",
+            arrays=("cube",),
+            array_ndims={"cube": 3},
+        )
+        cube = np.zeros((12, 12, 2))
+        module.run({"cube": cube}, values, threads=2)
+        expected = np.zeros((12, 12, 2))
+        for i, j in enumerate_iterations(correlation_nest, values):
+            expected[i, j, 1] += 1.0
+        assert np.array_equal(cube, expected)
+
+    def test_wrong_rank_data_is_rejected(self, correlation_nest):
+        from repro.core import collapse
+
+        module = compile_collapsed(
+            collapse(correlation_nest),
+            body="trace(pc - 1) = 1.0;",
+            arrays=("trace",),
+            array_ndims={"trace": 1},
+        )
+        with pytest.raises(NativeExecutionError, match="1-D"):
+            module.run({"trace": np.zeros((4, 4))}, {"N": 4})
+
 
 # ---------------------------------------------------------------------- #
 # session / one-call integration
@@ -330,13 +401,81 @@ class TestSessionBackend:
         expected = run_original(get_kernel("utma"), values)
         assert np.array_equal(data["c"], expected["c"])
 
-    def test_native_backend_rejects_ad_hoc_nests(self, correlation_nest):
+    def test_native_backend_rejects_nests_without_a_c_body(self, correlation_nest):
+        """Opaque nests (statements with no C text) still have nothing the
+        C generator could emit; the rejection must say so explicitly."""
         from repro.runtime import RuntimeSession
         from repro.runtime.plan import PlanError
 
         with RuntimeSession(workers=1) as session:
-            with pytest.raises(PlanError, match="registered kernels"):
+            with pytest.raises(PlanError, match="needs a C body"):
                 session.run(correlation_nest, {"N": 10}, backend="native")
+
+    def test_native_backend_runs_parsed_nests_with_c_bodies(self):
+        """The ROADMAP gap: a nest parsed from C-like text whose statement is
+        an array assignment runs natively — the statement's own C text is
+        the emitted body, the caller's arrays are mutated in place."""
+        from repro.ir import enumerate_iterations, parse_loop_nest
+        from repro.native import NativeRunResult
+        from repro.runtime import RuntimeSession
+
+        nest, _ = parse_loop_nest(
+            """
+            for (i = 0; i < N - 1; i++)
+              for (j = i + 1; j < N; j++)
+                visits(i, j) += 1.0;
+            """,
+            parameters=["N"],
+            name="correlation_text",
+        )
+        values = {"N": 24}
+        expected = np.zeros((24, 24))
+        for i, j in enumerate_iterations(nest, values):
+            expected[i, j] += 1.0
+        data = {"visits": np.zeros((24, 24))}
+        with RuntimeSession(workers=1) as session:
+            result = session.run(nest, values, data=data, backend="native")
+        assert isinstance(result, NativeRunResult)
+        assert sum(result.results) == int(expected.sum())
+        assert np.array_equal(data["visits"], expected)
+
+    def test_parsed_nest_macro_ranks_follow_subscripts(self):
+        """A parsed 1-D access must generate a 1-D macro (not the 2-D
+        default), both whole-range and as a hybrid plan."""
+        from repro.ir import enumerate_iterations, parse_loop_nest
+        from repro.runtime import RuntimeSession, build_plan
+
+        nest, _ = parse_loop_nest(
+            """
+            for (i = 0; i < N; i++)
+              for (j = i; j < N; j++)
+                hist(i) += 1.0;
+            """,
+            parameters=["N"],
+            name="histogram_text",
+        )
+        values = {"N": 16}
+        expected = np.zeros(16)
+        for i, _j in enumerate_iterations(nest, values):
+            expected[i] += 1.0
+        data = {"hist": np.zeros(16)}
+        with RuntimeSession(workers=1) as session:
+            session.run(nest, values, data=data, backend="native")
+        assert np.array_equal(data["hist"], expected)
+        plan = build_plan(nest, values, native=True, iteration_op=_dummy_op)
+        assert plan.native_spec.array_ndims == (1,)
+
+    def test_native_nest_run_requires_data(self):
+        from repro.ir import parse_loop_nest
+        from repro.runtime import RuntimeSession
+        from repro.runtime.plan import PlanError
+
+        nest, _ = parse_loop_nest(
+            "for (i = 0; i < N; i++)\n  v(i, i) = 1.0;", parameters=["N"]
+        )
+        with RuntimeSession(workers=1) as session:
+            with pytest.raises(PlanError, match="data="):
+                session.run(nest, {"N": 8}, backend="native")
 
     def test_unknown_backend_is_rejected(self):
         from repro.runtime import RuntimeSession
