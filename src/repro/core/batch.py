@@ -10,19 +10,26 @@ code (:mod:`repro.symbolic.compile`) and evaluated for a whole chunk of
 ``pc`` values per call, so a range of iterations is recovered in O(levels)
 vectorized operations instead of O(iterations) tree walks.
 
-Correctness is preserved by a *vectorized guarded floor*: after flooring the
-(complex) closed-form root element-wise, the exact bracket property
+Correctness is guaranteed by an *exact integer bracket pass*: the float
+closed-form root is only a **seed**.  Each level's bracket polynomial is
+denominator-cleared once (:meth:`Polynomial.integer_form`: a degree-``d``
+ranking polynomial times the LCM of its coefficient denominators has
+integer coefficients), compiled in integer mode, and evaluated exactly for
+the whole chunk — in ``int64`` while an a-priori magnitude bound proves no
+intermediate can overflow, in ``object``-dtype big-int arrays beyond that.
+The bracket property
 
-    r(i1..ik, lexmins) <= pc < r(i1..i_{k-1}, ik + 1, lexmins)
+    num(i1..ik, lexmins) <= pc * den < num(i1..i_{k-1}, ik + 1, lexmins)
 
-is checked for all elements at once in float arithmetic that is provably
-exact for the magnitudes involved (bracket values are integers, compared
-through ``rint`` and rejected when too large or too far from an integer for
-float64 to be trusted).  The rare elements that fail the check — floats that
-landed on the wrong side of an integer boundary, degenerate root branches,
-levels outside the degree-4 closed-form scope — are re-recovered one by one
-through the scalar exact machinery, so the batch result is element-wise
-identical to :meth:`CollapsedLoop.recover_indices`.
+then certifies every element with no float trust involved.  The (rare)
+elements whose seed fails the check — floats that landed on the wrong side
+of an integer boundary, non-finite roots from degenerate branches — are
+corrected by a vectorized exact bisection over the window the seed check
+leaves open; levels outside the degree-4 closed-form scope run the same
+exact bisection for the whole chunk.  The batch result is therefore
+element-wise identical to the exact scalar recovery at **any** magnitude:
+the historical ``2**45`` float-trust limit and its scalar re-recovery
+fallback are gone.
 
 A module-level memo cache hands out one :class:`BatchRecovery` per collapsed
 loop; combined with the ``collapse()`` memo cache, repeated collapses of an
@@ -32,30 +39,25 @@ recoveries.
 
 from __future__ import annotations
 
-import dataclasses
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..polyhedra import AffineExpr
 from ..symbolic.compile import CompiledExpr, CompiledPolynomial, compile_expr, compile_polynomial
 from .collapse import CollapsedLoop
-from .unranking import IndexRecovery
+from .unranking import FLOOR_EPSILON, IndexRecovery
 
 try:  # pragma: no cover - exercised implicitly by every test below
     import numpy as np
 except ImportError:  # pragma: no cover - the container bakes numpy in
     np = None
 
-#: Above this magnitude a float64 polynomial evaluation is no longer trusted
-#: to be within 1/4 of the true integer bracket value; such elements take the
-#: exact scalar path.  2**45 leaves ~8 bits of mantissa headroom for the
-#: rounding error of a straight-line evaluation with a few dozen operations.
-_TRUST_LIMIT = float(2**45)
-
-#: Tolerance added before flooring the real part of a root (same value as the
-#: scalar unranker); the guarded bracket check corrects any residual error.
-_FLOOR_EPSILON = 1e-9
+#: Magnitude bound under which a whole straight-line integer evaluation is
+#: guaranteed not to overflow ``int64`` (every partial sum is bounded by the
+#: sum of per-term magnitude bounds); chunks whose bound exceeds this run
+#: the bracket pass on ``object``-dtype Python big ints instead — slower,
+#: still exact, and only reachable for domains beyond ~10^18 ranks.
+_INT64_SAFE = 2**62
 
 
 class BatchRecoveryError(ValueError):
@@ -68,8 +70,8 @@ class BatchStats:
 
     iterations: int = 0        #: total elements recovered
     vector_levels: int = 0     #: levels recovered through compiled closed forms
-    bisection_levels: int = 0  #: levels recovered through vectorized bisection
-    exact_fixes: int = 0       #: elements re-recovered by the exact scalar path
+    bisection_levels: int = 0  #: levels recovered through vectorized exact bisection
+    exact_fixes: int = 0       #: elements whose float seed failed the exact bracket check
 
     def merge(self, other: "BatchStats") -> "BatchStats":
         return BatchStats(
@@ -86,7 +88,8 @@ class _LevelPlan:
 
     recovery: IndexRecovery
     root: Optional[CompiledExpr]          # numpy-mode closed form (None => bisection)
-    bracket: CompiledPolynomial           # numpy-mode bracket polynomial
+    bracket_num: CompiledPolynomial       # integer-mode denominator-cleared bracket
+    bracket_den: int                      # bracket == bracket_num / bracket_den
     integer_bounds: bool                  # bounds evaluable exactly in int64
 
 
@@ -106,6 +109,8 @@ def _affine_int(expr: AffineExpr, env: Mapping[str, object]):
 
 def _affine_ceil_exact(expr: AffineExpr, env: Mapping[str, object], size: int):
     """Per-element ``ceil`` of a rational affine bound (rare fractional case)."""
+    import math
+
     out = np.empty(size, dtype=np.int64)
     names = [var for var, _coeff in expr.coefficients]
     for position in range(size):
@@ -114,44 +119,55 @@ def _affine_ceil_exact(expr: AffineExpr, env: Mapping[str, object], size: int):
     return out
 
 
+def _max_abs(value) -> int:
+    """Largest absolute value an environment entry (scalar or column) takes."""
+    if np.ndim(value):
+        if value.size == 0:
+            return 0
+        return max(abs(int(value.min())), abs(int(value.max())))
+    return abs(int(value))
+
+
 class BatchRecovery:
     """Vectorized index recovery over a :class:`CollapsedLoop`.
 
-    One instance compiles the closed-form roots and bracket polynomials of
-    every collapsed level into NumPy straight-line code (done once, at
-    construction) and then recovers arbitrary ``pc`` ranges as ``(n, depth)``
-    ``int64`` arrays.  Use :func:`batch_recovery` to get the memoised
-    instance of a collapsed loop instead of constructing one per call site.
+    One instance compiles the closed-form roots (NumPy mode) and the
+    denominator-cleared bracket polynomials (integer mode) of every
+    collapsed level — done once, at construction — and then recovers
+    arbitrary ``pc`` ranges as ``(n, depth)`` ``int64`` arrays.  Use
+    :func:`batch_recovery` to get the memoised instance of a collapsed loop
+    instead of constructing one per call site.
 
-    The batch path always applies the exact bracket guard (vectorized, with
-    scalar exact fixes for the suspects), so it is element-wise identical to
-    the default *guarded* scalar recovery regardless of the ``guard`` flag
-    the collapsed loop was built with.
+    The batch path always applies the exact integer bracket pass, so it is
+    element-wise identical to the exact scalar recovery regardless of the
+    ``guard`` flag the collapsed loop was built with — and regardless of the
+    domain's magnitude (the bracket arithmetic switches from ``int64`` to
+    big-int ``object`` arrays when an a-priori bound says ``int64`` could
+    overflow).
     """
 
     def __init__(self, collapsed: CollapsedLoop):
         if np is None:
             raise BatchRecoveryError("BatchRecovery requires NumPy, which is not installed")
         self.collapsed = collapsed
-        # suspects are always re-recovered through the *guarded* scalar path,
-        # even when the collapsed loop was built with guard=False — that is
-        # what makes the batch result exact
-        unranking = collapsed.unranking
-        self._exact = (
-            unranking if unranking.guard else dataclasses.replace(unranking, guard=True)
-        )
         self._pc_name = collapsed.pc_name
         self._plans: List[_LevelPlan] = []
-        for recovery in self._exact.recoveries:
+        for recovery in collapsed.unranking.recoveries:
             root = None
             if recovery.method != "bisection" and recovery.expression is not None:
                 root = compile_expr(recovery.expression, mode="numpy")
-            bracket = compile_polynomial(recovery.bracket, mode="numpy")
+            bracket_num = compile_polynomial(recovery.bracket_numerator, mode="integer")
             integer_bounds = _has_integer_coefficients(recovery.lower) and _has_integer_coefficients(
                 recovery.upper
             )
             self._plans.append(
-                _LevelPlan(recovery=recovery, root=root, bracket=bracket, integer_bounds=integer_bounds)
+                _LevelPlan(
+                    recovery=recovery,
+                    root=root,
+                    bracket_num=bracket_num,
+                    bracket_den=recovery.bracket_denominator,
+                    integer_bounds=integer_bounds,
+                )
             )
 
     # ------------------------------------------------------------------ #
@@ -208,10 +224,9 @@ class BatchRecovery:
         environment: Dict[str, object] = {
             name: int(value) for name, value in parameter_values.items()
         }
-        pcs_f = pcs.astype(np.float64)
         columns: List[object] = []
         for plan in self._plans:
-            column = self._recover_level(plan, pcs, pcs_f, environment, stats)
+            column = self._recover_level(plan, pcs, environment, stats)
             environment[plan.recovery.iterator] = column
             columns.append(column)
         stats.iterations += int(pcs.size)
@@ -245,71 +260,128 @@ class BatchRecovery:
             np.broadcast_to(np.asarray(upper, dtype=np.int64), (size,)),
         )
 
-    def _bracket_at(self, plan: _LevelPlan, environment: Mapping[str, object], values):
-        assignment = dict(environment)
-        assignment[plan.recovery.iterator] = values
-        return np.asarray(plan.bracket.evaluate(assignment), dtype=np.float64)
+    def _int64_is_safe(self, plan: _LevelPlan, environment, pcs, lower, upper) -> bool:
+        """A-priori proof that the whole bracket pass fits in ``int64``.
 
-    def _recover_level(self, plan, pcs, pcs_f, environment, stats):
+        Bounds every term of the cleared bracket by
+        ``|coeff| * prod(max|var|**exp)`` over the chunk (the level's own
+        iterator ranges over ``[lower, upper + 1]``), plus the rank bound
+        ``max(pc) * den``; if the summed bound stays under ``2**62`` no
+        partial sum of the straight-line evaluation can overflow.
+        """
+        extremes = {name: _max_abs(value) for name, value in environment.items()}
+        extremes[plan.recovery.iterator] = max(_max_abs(lower), _max_abs(upper) + 1)
+        bound = 0
+        for monomial, coefficient in plan.bracket_num.polynomial.terms().items():
+            term = abs(int(coefficient))
+            for var, exp in monomial.powers:
+                term *= extremes.get(var, 0) ** exp
+            bound += term
+        rank_bound = int(pcs.max()) * plan.bracket_den
+        return bound < _INT64_SAFE and rank_bound < _INT64_SAFE
+
+    def _bracket_int(self, plan: _LevelPlan, environment, values, exact_object: bool):
+        """Exact integer bracket numerator at ``values``, whole chunk at once."""
+        assignment: Dict[str, object] = {}
+        for name, entry in environment.items():
+            if np.ndim(entry):
+                assignment[name] = entry.astype(object) if exact_object else entry
+            else:
+                assignment[name] = int(entry)
+        assignment[plan.recovery.iterator] = (
+            values.astype(object) if exact_object else values
+        )
+        result = plan.bracket_num.evaluate(assignment)
+        dtype = object if exact_object else np.int64
+        return np.broadcast_to(np.asarray(result, dtype=dtype), values.shape)
+
+    def _ranks(self, plan: _LevelPlan, pcs, exact_object: bool):
+        """``pc * den`` for the whole chunk, in the pass's integer carrier."""
+        if exact_object:
+            return pcs.astype(object) * plan.bracket_den
+        return pcs * np.int64(plan.bracket_den)
+
+    def _recover_level(self, plan, pcs, environment, stats):
         size = pcs.size
         lower, upper = self._bounds(plan, environment, size)
+        exact_object = not self._int64_is_safe(plan, environment, pcs, lower, upper)
+        rank = self._ranks(plan, pcs, exact_object)
 
-        if plan.root is not None:
-            stats.vector_levels += 1
-            assignment = dict(environment)
-            assignment[self._pc_name] = pcs
-            with np.errstate(all="ignore"):
-                raw = np.real(plan.root.evaluate(assignment))
-            finite = np.isfinite(raw)
-            floored = np.floor(np.where(finite, raw, 0.0) + _FLOOR_EPSILON)
-            value = np.clip(floored, lower, upper).astype(np.int64)
-            trusted = finite
-        else:
+        if plan.root is None:
+            # no closed form (degree > 4): exact bisection for the whole chunk
             stats.bisection_levels += 1
-            value = self._vector_bisect(plan, pcs_f, environment, lower, upper)
-            trusted = np.ones(size, dtype=bool)
+            return self._exact_bisect(plan, environment, rank, lower, upper, exact_object)
 
-        # ---- vectorized guarded floor ------------------------------------ #
-        below = self._bracket_at(plan, environment, value)
-        above = self._bracket_at(plan, environment, value + 1)
-        below_r = np.rint(below)
-        above_r = np.rint(above)
+        stats.vector_levels += 1
+        assignment = dict(environment)
+        assignment[self._pc_name] = pcs
+        with np.errstate(all="ignore"):
+            raw = np.real(plan.root.evaluate(assignment))
+        seeded = np.isfinite(raw)
+        floored = np.floor(np.where(seeded, raw, 0.0) + FLOOR_EPSILON)
+        value = np.clip(floored, lower, upper).astype(np.int64)
+
+        # ---- exact integer bracket pass ---------------------------------- #
+        below = self._bracket_int(plan, environment, value, exact_object)
+        above = self._bracket_int(plan, environment, value + 1, exact_object)
         at_top = value >= upper
-        ok = trusted & (value >= lower)
-        ok &= (below_r <= pcs_f) & (at_top | (above_r > pcs_f))
-        # only trust float brackets that are unambiguously integers
-        ok &= (np.abs(below - below_r) < 0.25) & (np.abs(below) < _TRUST_LIMIT)
-        ok &= at_top | ((np.abs(above - above_r) < 0.25) & (np.abs(above) < _TRUST_LIMIT))
+        # comparisons on object arrays yield object-dtype results; force bool
+        # so the mask logic below (`~ok`) works on every carrier
+        below_ok = np.asarray(below <= rank, dtype=bool)
+        above_ok = np.asarray(above > rank, dtype=bool)
+        ok = seeded & below_ok & (at_top | above_ok)
 
         suspects = np.nonzero(~ok)[0]
         if suspects.size:
             stats.exact_fixes += int(suspects.size)
+            # narrow each suspect's window with what its seed check proved
+            # (nothing, for non-finite seeds), then bisect exactly
+            sub_env = {
+                name: (entry[suspects] if np.ndim(entry) else entry)
+                for name, entry in environment.items()
+            }
+            lo = lower[suspects].copy()
+            hi = upper[suspects].copy()
+            seed_value = value[suspects]
+            proved_low = seeded[suspects] & below_ok[suspects]
+            proved_high = seeded[suspects] & ~below_ok[suspects]
+            lo = np.where(proved_low, seed_value, lo)
+            hi = np.where(proved_high, seed_value - 1, hi)
+            hi = np.maximum(hi, lo)
+            corrected = self._exact_bisect(
+                plan,
+                sub_env,
+                rank[suspects],
+                lo,
+                hi,
+                exact_object,
+                presized=True,
+            )
             value = value.copy()
-            for position in map(int, suspects):
-                point = {
-                    name: int(np.asarray(vals).reshape(-1)[position]) if np.ndim(vals) else int(vals)
-                    for name, vals in environment.items()
-                }
-                value[position] = self._exact._recover_level(
-                    plan.recovery, int(pcs[position]), point
-                )
+            value[suspects] = corrected
         return value
 
-    def _vector_bisect(self, plan, pcs_f, environment, lower, upper):
-        """Vectorized largest-x-with-``r(x) <= pc`` search (degree > 4 levels).
+    def _exact_bisect(
+        self, plan, environment, rank, lower, upper, exact_object, presized: bool = False
+    ):
+        """Vectorized largest-x-with-``num(x) <= rank`` exact integer search.
 
-        Runs on float brackets; any element the float comparison got wrong is
-        caught by the guarded check in :meth:`_recover_level` and re-done
-        exactly, mirroring the scalar bisection fallback.
+        ``presized=True`` means ``lower``/``upper`` are already the narrowed
+        per-element windows (the suspect-correction path); otherwise they are
+        the level's full index ranges.  Every comparison is exact, so the
+        result needs no further verification — this is both the degree>4
+        fallback and the correction step of the seeded levels.
         """
-        lo = lower.copy()
-        hi = np.maximum(upper, lo)
+        lo = np.asarray(lower, dtype=np.int64).copy() if not presized else lower
+        hi = np.maximum(np.asarray(upper, dtype=np.int64), lo) if not presized else upper
         while True:
             active = lo < hi
             if not bool(active.any()):
                 break
             mid = (lo + hi + 1) // 2
-            take = np.rint(self._bracket_at(plan, environment, mid)) <= pcs_f
+            take = np.asarray(
+                self._bracket_int(plan, environment, mid, exact_object) <= rank, dtype=bool
+            )
             lo = np.where(active & take, mid, lo)
             hi = np.where(active & ~take, mid - 1, hi)
         return lo

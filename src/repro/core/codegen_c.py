@@ -15,15 +15,19 @@ Two layers live here:
   optional kernel body — which :mod:`repro.native` compiles into a shared
   library and executes through ``ctypes``.
 
-Both layers emit the *guarded* floor of :mod:`repro.core.unranking`: the
-closed-form root is floored with the shared ``FLOOR_EPSILON`` tolerance and
-then snapped onto the exact bracket ``r(.., i_k) <= pc < r(.., i_k + 1)``.
-Earlier revisions emitted a bare ``floor(creal(...))``, which silently
-recovers ``i_k - 1`` whenever the float root lands just below the integer
-boundary (e.g. ``k - 1e-12``); the Python path never had that bug, and the
-generated C now mirrors it exactly.
+Both layers emit the *exact* seed-then-correct recovery of
+:mod:`repro.core.unranking`: the closed-form root is floored with the
+shared ``FLOOR_EPSILON`` tolerance as a **seed**, and the bracket property
+``r(.., i_k) <= pc < r(.., i_k + 1)`` is then verified — and on a miss,
+bisected — entirely in ``__int128`` integer arithmetic over the
+denominator-cleared bracket polynomial (``num(i_k) <= pc * den``; see
+:meth:`Polynomial.integer_form`).  Earlier revisions compared ``rint`` of a
+``double`` bracket, which is only exact up to ~2^45; the emitted C is now
+exact at any magnitude a ``long long`` rank can express, matching the
+Python paths bit for bit.  (``__int128`` is a GCC/Clang extension — every
+compiler ``repro.native.compiler`` discovers supports it.)
 
-All emitted integer arithmetic uses ``long long``: a depth-3 nest at
+All other emitted integer arithmetic uses ``long long``: a depth-3 nest at
 ``N = 2048`` already has more iterations than a 32-bit ``int`` can count,
 and ``long`` is 32 bits on some ABIs.
 """
@@ -56,33 +60,80 @@ def _c_ceil_bound(expr: AffineExpr) -> str:
     """C source of ``ceil(expr)`` as a ``long long`` value.
 
     Integer-coefficient bounds (the common case) evaluate exactly in integer
-    arithmetic; rational bounds go through ``ceil`` in double.
+    arithmetic; rational bounds are denominator-cleared and ceiled with an
+    exact ``__int128`` division — a double ``ceil`` here would re-introduce
+    the very float-trust gap the bracket arithmetic eliminates once the
+    bound's value passes 2^53.
     """
     source = expr.to_c_source()
     if _affine_is_integer(expr):
         return f"({source})"
-    return f"((long long)ceil((double)({source})))"
+    numerator, denominator = expr.to_polynomial().integer_form()
+    num = _int128_source(numerator)
+    return (
+        f"((long long)((({num}) >= 0) "
+        f"? ((({num}) + {denominator} - 1) / {denominator}) "
+        f": (-((-({num})) / {denominator}))))"
+    )
 
 
-def _bracket_source(recovery, shift: int = 0) -> str:
-    """The bracket polynomial ``r(prefix, iterator + shift)`` as C source."""
-    bracket = recovery.bracket
+def _int128_source(poly: Polynomial) -> str:
+    """An integer-coefficient polynomial as overflow-safe ``__int128`` C source.
+
+    Every term leads with an ``(__int128)`` cast (on the coefficient, or on
+    the first variable factor when the coefficient is 1), so the whole
+    left-associated product — and therefore every partial sum — widens to
+    128 bits before any multiplication can overflow ``long long``.
+    """
+    terms = sorted(poly.terms().items(), key=lambda kv: kv[0].sort_key(), reverse=True)
+    if not terms:
+        return "(__int128)0"
+    parts: List[str] = []
+    for monomial, coefficient in terms:
+        if coefficient.denominator != 1:
+            raise CodegenError(
+                f"polynomial {poly} has fractional coefficient {coefficient}; "
+                "clear denominators with integer_form() before emitting __int128 source"
+            )
+        variables = [var for var, exp in monomial.powers for _ in range(exp)]
+        value = coefficient.numerator
+        if value == 1 and variables:
+            factors = [f"(__int128){variables[0]}", *variables[1:]]
+        else:
+            factors = [f"(__int128)({value})", *variables]
+        parts.append(" * ".join(factors))
+    return " + ".join(f"({p})" for p in parts)
+
+
+def _bracket_num_source(recovery, shift: int = 0) -> str:
+    """The cleared bracket ``num(prefix, iterator + shift)`` as ``__int128`` C."""
+    numerator = recovery.bracket_numerator
     if shift:
-        bracket = bracket.substitute(
+        numerator = numerator.substitute(
             {recovery.iterator: Polynomial.variable(recovery.iterator) + shift}
         )
-    return bracket.to_c_source()
+    return _int128_source(numerator)
+
+
+def _rank_line(recovery, indent: str) -> str:
+    """Declare ``repro_rank = pc * den``: the exact integer rank to bracket."""
+    return (
+        f"{indent}const __int128 repro_rank = "
+        f"(__int128)pc * {recovery.bracket_denominator};"
+    )
 
 
 def _c_recovery_lines(collapsed: CollapsedLoop, guard: bool = True) -> List[str]:
     """Recovery statements for every collapsed level, outermost first.
 
     With ``guard`` (the default, matching the Python unranker) each
-    closed-form floor is epsilon-padded, clamped to the loop range and
-    snapped onto the exact bracket; levels without a closed form fall back
-    to an emitted bisection over the bracket polynomial.  ``guard=False``
-    reproduces the historical bare ``floor(creal(...))`` — kept only so the
-    regression tests can demonstrate the boundary bug it carried.
+    closed-form floor is epsilon-padded and used as the *seed* of an exact
+    ``__int128`` bracket check — a miss (or a non-finite root) falls through
+    to an exact bisection over the window the check leaves open; levels
+    without a closed form run the bisection over the whole index range.
+    ``guard=False`` reproduces the historical bare ``floor(creal(...))`` —
+    kept only so the regression tests can demonstrate the boundary bug it
+    carried.
     """
     lines: List[str] = []
     for recovery in collapsed.unranking.recoveries:
@@ -106,17 +157,16 @@ def _c_recovery_lines(collapsed: CollapsedLoop, guard: bool = True) -> List[str]
 def _bisection_search_lines(recovery, indent: str) -> List[str]:
     """The exact-search loop of ``UnrankingFunction._bisect`` as C statements.
 
-    Finds the largest index with bracket rank ``<= pc`` between the
-    ``repro_lo``/``repro_hi`` bounds already in scope; the bracket
-    polynomial (integer-valued) is evaluated in double and rounded with
-    ``rint``.
+    Finds the largest index with cleared-bracket value ``<= repro_rank``
+    between the ``repro_lo``/``repro_hi`` bounds already in scope; every
+    comparison is exact ``__int128`` integer arithmetic.
     """
     it = recovery.iterator
     return [
         f"{indent}while (repro_lo < repro_hi) {{",
         f"{indent}  long long {it}_mid = (repro_lo + repro_hi + 1) / 2;",
         f"{indent}  {it} = {it}_mid;",
-        f"{indent}  if (rint({_bracket_source(recovery)}) <= (double)pc) repro_lo = {it}_mid;",
+        f"{indent}  if (({_bracket_num_source(recovery)}) <= repro_rank) repro_lo = {it}_mid;",
         f"{indent}  else repro_hi = {it}_mid - 1;",
         f"{indent}}}",
         f"{indent}{it} = repro_lo;",
@@ -124,31 +174,37 @@ def _bisection_search_lines(recovery, indent: str) -> List[str]:
 
 
 def _guarded_block(recovery) -> List[str]:
-    """The guarded floor of ``unranking._recover_level`` as C statements.
+    """The exact seed-then-correct of ``unranking._recover_level`` as C.
 
-    The float root is floored (with the shared epsilon), clamped *in
+    The float root is floored (with the shared epsilon) and clamped *in
     double* — casting an infinite or out-of-range double to ``long long``
-    is undefined behaviour — and snapped onto the exact bracket.  A
-    non-finite root (the closed-form branch degenerating to a division by
-    zero, which the Python path catches as ``ZeroDivisionError``) falls
-    back to the same exact search the bisection levels use.
+    is undefined behaviour.  The clamped seed is then checked against the
+    exact ``__int128`` bracket ``num(i_k) <= pc * den < num(i_k + 1)``: a
+    hit narrows the bisection window to a single point (two integer
+    evaluations total), a miss — or a non-finite root, the closed-form
+    branch degenerating to a division by zero — leaves the window the check
+    proved and the shared exact bisection finishes the job.
     """
     it = recovery.iterator
     return [
         "{",
         f"  long long repro_lo = {_c_ceil_bound(recovery.lower)};",
         f"  long long repro_hi = {_c_ceil_bound(recovery.upper)} - 1;",
+        _rank_line(recovery, "  "),
         f"  double repro_root = floor(creal({recovery.expression.to_c()}) + {_EPSILON_C});",
         "  if (isfinite(repro_root)) {",
         f"    if (repro_root < (double)repro_lo) {it} = repro_lo;",
         f"    else if (repro_root > (double)repro_hi) {it} = repro_hi;",
         f"    else {it} = (long long)repro_root;",
-        f"    while ({it} > repro_lo && rint({_bracket_source(recovery)}) > (double)pc) {it}--;",
-        f"    while ({it} < repro_hi && rint({_bracket_source(recovery, 1)}) <= (double)pc) {it}++;",
-        "  } else {",
-        "    /* degenerate closed-form branch: exact search, like the Python fallback */",
-        *_bisection_search_lines(recovery, "    "),
+        f"    if (({_bracket_num_source(recovery)}) <= repro_rank) {{",
+        f"      repro_lo = {it};",
+        f"      if ({it} >= repro_hi || ({_bracket_num_source(recovery, 1)}) > repro_rank) repro_hi = {it};",
+        "    } else {",
+        f"      repro_hi = {it} - 1;",
+        "    }",
         "  }",
+        "  /* exact __int128 bisection over whatever window remains open */",
+        *_bisection_search_lines(recovery, "  "),
         "}",
     ]
 
@@ -159,6 +215,7 @@ def _bisection_block(recovery) -> List[str]:
         "{",
         f"  long long repro_lo = {_c_ceil_bound(recovery.lower)};",
         f"  long long repro_hi = {_c_ceil_bound(recovery.upper)} - 1;",
+        _rank_line(recovery, "  "),
         *_bisection_search_lines(recovery, "  "),
         "}",
     ]
@@ -172,11 +229,12 @@ def _c_increment_lines(collapsed: CollapsedLoop) -> List[str]:
     def carry(level: int, indent: str) -> None:
         iterator, lower, upper = bounds[level]
         outer_iterator = bounds[level - 1][0]
-        lines.append(f"{indent}if ({iterator} >= {upper.to_c_source()}) {{")
+        # exact integer ceils: `x >= upper` over integers is `x >= ceil(upper)`
+        lines.append(f"{indent}if ({iterator} >= {_c_ceil_bound(upper)}) {{")
         lines.append(f"{indent}  {outer_iterator}++;")
         if level - 1 >= 1:
             carry(level - 1, indent + "  ")
-        lines.append(f"{indent}  {iterator} = {lower.to_c_source()};")
+        lines.append(f"{indent}  {iterator} = {_c_ceil_bound(lower)};")
         lines.append(f"{indent}}}")
 
     if len(bounds) > 1:
@@ -219,12 +277,18 @@ def _schedule_clause(schedule, with_chunk: bool) -> str:
 
 
 def _total_c_source(collapsed: CollapsedLoop) -> str:
-    """The collapsed trip count as C source, rounded to the nearest integer.
+    """The collapsed trip count as exact ``__int128`` integer C source.
 
-    The polynomial is integer-valued but its rendering divides in double
-    precision, so the generated header rounds instead of truncating.
+    The polynomial is integer-valued, so its denominator-cleared numerator
+    divided by the denominator is an exact integer division — no double
+    rounding (the historical ``(long long)(dbl + 0.5)`` went wrong past
+    2^52 iterations).
     """
-    return f"(long long)(({collapsed.total_polynomial.to_c_source()}) + 0.5)"
+    numerator, denominator = collapsed.total_polynomial.integer_form()
+    source = _int128_source(numerator)
+    if denominator == 1:
+        return f"(long long)({source})"
+    return f"(long long)(({source}) / {denominator})"
 
 
 def generate_openmp_collapsed(collapsed: CollapsedLoop, schedule: str = "static") -> str:

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 
 from .collapse import CollapsedLoop
 from .recovery import RecoveryStrategy
+from .unranking import FLOOR_EPSILON
 
 
 class CodegenError(ValueError):
@@ -35,8 +36,31 @@ def _indent(lines: List[str], spaces: int) -> str:
     return "\n".join(pad + line if line else line for line in lines)
 
 
+def _ceil_source(expr) -> str:
+    """Python source of ``ceil(expr)`` for an affine bound, exact at any size.
+
+    Denominator-cleared so the emitted arithmetic is pure ``int``:
+    ``ceil(a / b) == -((-a) // b)`` for ``b > 0`` — a ``math.ceil`` over the
+    float rendering would round once bound values pass 2^53.
+    """
+    numerator, denominator = expr.to_polynomial().integer_form()
+    source = numerator.to_python_source()
+    if denominator == 1:
+        return f"({source})"
+    return f"(-((-({source})) // {denominator}))"
+
+
 def _recovery_lines(collapsed: CollapsedLoop, guard: bool) -> List[str]:
-    """Python statements recovering every original index from ``pc``."""
+    """Python statements recovering every original index from ``pc``.
+
+    The emitted guard is the same exact seed-then-correct scheme as the
+    scalar unranker and the generated C: the float root (floored with the
+    shared ``FLOOR_EPSILON``) seeds an exact integer bracket check over the
+    denominator-cleared bracket polynomial — pure ``int`` arithmetic, so
+    Python's big ints make it exact at any magnitude — and a miss bisects
+    the window the check leaves open.  ``guard=False`` keeps the bare
+    epsilon-padded floor (regression demonstrations only).
+    """
     lines: List[str] = []
     for recovery in collapsed.unranking.recoveries:
         if recovery.expression is None:
@@ -45,19 +69,39 @@ def _recovery_lines(collapsed: CollapsedLoop, guard: bool) -> List[str]:
                 "(bisection fallback); Python code generation follows the paper and "
                 "only supports closed forms"
             )
-        iterator = recovery.iterator
-        lines.append(f"{iterator} = math.floor(({recovery.expression.to_python()}).real + 1e-9)")
-        if guard:
-            bracket = recovery.bracket.to_python_source()
-            lower = recovery.lower.to_polynomial().to_python_source()
-            lines.append(f"_low_{iterator} = math.ceil({lower})")
-            lines.append(f"{iterator} = max({iterator}, _low_{iterator})")
-            lines.append(f"while {iterator} > _low_{iterator} and ({bracket}) > pc:")
-            lines.append(f"    {iterator} -= 1")
+        it = recovery.iterator
+        if not guard:
             lines.append(
-                f"while ({_shifted_bracket(bracket, iterator)}) <= pc:"
+                f"{it} = math.floor(({recovery.expression.to_python()}).real + {FLOOR_EPSILON!r})"
             )
-            lines.append(f"    {iterator} += 1")
+            continue
+        numerator = recovery.bracket_numerator.to_python_source()
+        # a degenerate closed-form branch (division by zero) or a float
+        # evaluation leaving the finite range routes to the exact bisection
+        # below via a non-finite seed — the same classes the scalar
+        # unranker's _recover_level catches
+        lines.append("try:")
+        lines.append(f"    _root_{it} = ({recovery.expression.to_python()}).real")
+        lines.append("except (ZeroDivisionError, OverflowError, ValueError):")
+        lines.append(f"    _root_{it} = math.inf")
+        lines.append(f"_lo_{it} = {_ceil_source(recovery.lower)}")
+        lines.append(f"_hi_{it} = {_ceil_source(recovery.upper)} - 1")
+        lines.append(f"_rank_{it} = pc * {recovery.bracket_denominator}")
+        lines.append(f"if math.isfinite(_root_{it}):")
+        lines.append(f"    {it} = min(max(math.floor(_root_{it} + {FLOOR_EPSILON!r}), _lo_{it}), _hi_{it})")
+        lines.append(f"    if ({numerator}) <= _rank_{it}:")
+        lines.append(f"        _lo_{it} = {it}")
+        lines.append(f"        if {it} >= _hi_{it} or ({_shifted_bracket(numerator, it)}) > _rank_{it}:")
+        lines.append(f"            _hi_{it} = {it}")
+        lines.append("    else:")
+        lines.append(f"        _hi_{it} = {it} - 1")
+        lines.append(f"while _lo_{it} < _hi_{it}:")
+        lines.append(f"    {it} = (_lo_{it} + _hi_{it} + 1) // 2")
+        lines.append(f"    if ({numerator}) <= _rank_{it}:")
+        lines.append(f"        _lo_{it} = {it}")
+        lines.append("    else:")
+        lines.append(f"        _hi_{it} = {it} - 1")
+        lines.append(f"{it} = _lo_{it}")
     return lines
 
 
@@ -87,14 +131,13 @@ def _increment_lines(collapsed: CollapsedLoop) -> List[str]:
 
     def carry(level: int, indent: str) -> None:
         iterator, lower, upper = bounds[level]
-        upper_src = upper.to_polynomial().to_python_source()
-        lower_src = lower.to_polynomial().to_python_source()
         outer_iterator = bounds[level - 1][0]
-        lines.append(f"{indent}if {iterator} >= math.ceil({upper_src}):")
+        # exact integer ceils: `x >= upper` over integers is `x >= ceil(upper)`
+        lines.append(f"{indent}if {iterator} >= {_ceil_source(upper)}:")
         lines.append(f"{indent}    {outer_iterator} += 1")
         if level - 1 >= 1:
             carry(level - 1, indent + "    ")
-        lines.append(f"{indent}    {iterator} = math.ceil({lower_src})")
+        lines.append(f"{indent}    {iterator} = {_ceil_source(lower)}")
 
     if len(bounds) > 1:
         carry(len(bounds) - 1, "")
@@ -121,16 +164,19 @@ def generate_python_source(
     function_name = function_name or f"collapsed_{collapsed.nest.name}"
     parameter_list = "".join(f"{name}, " for name in collapsed.nest.parameters)
     iterators = ", ".join(collapsed.iterators)
-    total_src = collapsed.total_polynomial.to_python_source()
+    total_num, total_den = collapsed.total_polynomial.integer_form()
+    total_src = total_num.to_python_source()
+    if total_den != 1:
+        total_src = f"({total_src}) // {total_den}"
     recovery = _recovery_lines(collapsed, guard)
 
     lines: List[str] = [
         f"def {function_name}(body, {parameter_list}first_pc=1, last_pc=None):",
         f'    """Collapsed form of the {collapsed.depth} outer loops of '
         f'{collapsed.nest.name!r} (auto-generated)."""',
-        # the trip-count polynomial is integer-valued but its Python rendering
-        # uses exact divisions evaluated in floating point; round, don't truncate
-        f"    total = int(round({total_src}))",
+        # the trip count is computed on the denominator-cleared integer form,
+        # so it is exact Python-int arithmetic at any magnitude
+        f"    total = {total_src}",
         "    if last_pc is None:",
         "        last_pc = total",
         "    last_pc = min(last_pc, total)",

@@ -14,19 +14,25 @@ an exact polynomial expression (Section IV-A's final step).
 
 Two robustness mechanisms extend the paper's scheme without changing it:
 
-* a *guarded floor*: after the floating-point evaluation of the closed-form
-  root, the bracket property ``r(..., i_k, lexmins) <= pc < r(..., i_k + 1,
-  lexmins)`` is re-checked in exact rational arithmetic and the index nudged
-  if the float landed on the wrong side of an integer boundary;
+* a *guarded floor* (seed-then-correct): the floating-point evaluation of
+  the closed-form root is only a **seed**.  The bracket property
+  ``r(..., i_k, lexmins) <= pc < r(..., i_k + 1, lexmins)`` is re-checked in
+  exact integer arithmetic — the bracket polynomial times its coefficient
+  denominator LCM has integer coefficients, so ``r(x) <= pc`` becomes the
+  exact comparison ``num(x) <= pc * den`` over Python big ints — and any
+  float miss is corrected by an exact bisection over the window the seed
+  check leaves open.  A correct seed costs two integer evaluations; a miss
+  costs O(log error).  The recovery is therefore exact at *any* magnitude,
+  with no float-trust cliff;
 * an *exact bisection fallback* for levels whose equation degree exceeds 4
-  (outside the paper's scope) or whose symbolic root cannot be validated.
+  (outside the paper's scope), whose symbolic root cannot be validated, or
+  whose float seed is non-finite (degenerate branch, overflow).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from fractions import Fraction
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir import LoopNest, enumerate_iterations
@@ -36,12 +42,12 @@ from ..symbolic.solve import SolveError, solve_univariate_symbolic
 from .ranking import RankingPolynomial
 
 #: Tolerance added before flooring the real part of a closed-form root; the
-#: guarded bracket check corrects any residual off-by-one.
-_FLOOR_EPSILON = 1e-9
-
-#: Public alias used by the code generators so the emitted C applies the very
-#: same tolerance as this scalar path (docs/native.md, repro.core.codegen_c).
-FLOOR_EPSILON = _FLOOR_EPSILON
+#: exact bracket correction repairs any residual off-by-one.  This is the
+#: single source of truth for every floor site — the scalar path here, the
+#: batch path (``repro.core.batch``), and both code generators
+#: (``repro.core.codegen_python``, ``repro.core.codegen_c``) import it, so
+#: the tolerance can never desynchronize across backends.
+FLOOR_EPSILON = 1e-9
 
 
 class UnrankingError(ValueError):
@@ -60,6 +66,19 @@ class IndexRecovery:
     lower: AffineExpr                # loop lower bound (affine in outer iterators)
     upper: AffineExpr                # loop upper bound, exclusive
     degree: int
+    #: denominator-cleared bracket: ``bracket == bracket_numerator / bracket_denominator``
+    #: with integer coefficients only — ``r(x) <= pc`` is evaluated as the
+    #: exact integer comparison ``bracket_numerator(x) <= pc * bracket_denominator``
+    #: by every backend (derived in ``__post_init__``; both fields pickle with
+    #: the dataclass, so engine workers never re-derive them)
+    bracket_numerator: Optional[Polynomial] = None
+    bracket_denominator: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bracket_numerator is None:
+            numerator, denominator = self.bracket.integer_form()
+            object.__setattr__(self, "bracket_numerator", numerator)
+            object.__setattr__(self, "bracket_denominator", denominator)
 
     def describe(self) -> str:
         if self.method == "bisection":
@@ -102,37 +121,56 @@ class UnrankingFunction:
         assignment[self.pc_name] = pc
         try:
             root = recovery.expression.evaluate(assignment)
-        except ZeroDivisionError:
-            # the chosen branch degenerates for this instantiation — the exact
-            # fallback still recovers the right index
+            value = math.floor(root.real + FLOOR_EPSILON)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            # the chosen branch degenerates (division by zero) or the float
+            # evaluation leaves the finite range — the exact search still
+            # recovers the right index
             return self._bisect(recovery, pc, environment, lower, upper)
-        value = math.floor(root.real + _FLOOR_EPSILON)
         if self.guard:
-            value = self._guarded(recovery, pc, environment, value, lower, upper)
+            value = self._corrected(recovery, pc, environment, value, lower, upper)
         return value
 
-    def _bracket_value(self, recovery: IndexRecovery, environment: Mapping[str, int], x: int) -> Fraction:
+    def _bracket_num(self, recovery: IndexRecovery, environment: Mapping[str, int], x: int) -> int:
+        """Exact integer value of the denominator-cleared bracket at ``x``."""
         assignment = dict(environment)
         assignment[recovery.iterator] = x
-        value = recovery.bracket.evaluate(assignment)
-        return value if isinstance(value, Fraction) else Fraction(value)
+        return recovery.bracket_numerator.evaluate_int(assignment)
 
-    def _guarded(
+    def _corrected(
         self,
         recovery: IndexRecovery,
         pc: int,
         environment: Mapping[str, int],
-        value: int,
+        seed: int,
         lower: int,
         upper: int,
     ) -> int:
-        """Snap ``value`` onto the exact bracket ``r(.., value) <= pc < r(.., value+1)``."""
-        value = min(max(value, lower), upper)
-        while value > lower and self._bracket_value(recovery, environment, value) > pc:
-            value -= 1
-        while value < upper and self._bracket_value(recovery, environment, value + 1) <= pc:
-            value += 1
-        return value
+        """Exact seed-then-correct: validate the float ``seed`` against the
+        integer bracket ``num(x) <= pc * den < num(x + 1)`` and, on a miss,
+        bisect the window the check leaves open.
+
+        A correct seed returns after two exact evaluations; a seed off by
+        ``e`` costs ``O(log)`` evaluations — bounded, unlike a linear walk.
+        """
+        if lower > upper:  # degenerate empty range: preserve the clamp
+            return min(max(seed, lower), upper)
+        rank = pc * recovery.bracket_denominator
+        lo, hi = lower, upper
+        value = min(max(seed, lower), upper)
+        if self._bracket_num(recovery, environment, value) <= rank:
+            if value >= upper or self._bracket_num(recovery, environment, value + 1) > rank:
+                return value
+            lo = value  # seed too low: the true index lies in [value + 1, upper]
+        else:
+            hi = value - 1  # seed too high: the true index lies in [lower, value - 1]
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._bracket_num(recovery, environment, mid) <= rank:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
 
     def _bisect(
         self,
@@ -147,14 +185,15 @@ class UnrankingFunction:
             raise UnrankingError(
                 f"empty range for iterator {recovery.iterator!r} while unranking pc={pc}"
             )
+        rank = pc * recovery.bracket_denominator
         lo, hi = lower, upper
-        if self._bracket_value(recovery, environment, lo) > pc:
+        if self._bracket_num(recovery, environment, lo) > rank:
             raise UnrankingError(
                 f"pc={pc} is below the rank of the first iteration of {recovery.iterator!r}"
             )
         while lo < hi:
             mid = (lo + hi + 1) // 2
-            if self._bracket_value(recovery, environment, mid) <= pc:
+            if self._bracket_num(recovery, environment, mid) <= rank:
                 lo = mid
             else:
                 hi = mid - 1
@@ -265,7 +304,7 @@ def _select_root(
                 continue
             if abs(value.imag) > 1e-6:
                 continue
-            if math.floor(value.real + _FLOOR_EPSILON) == expected:
+            if math.floor(value.real + FLOOR_EPSILON) == expected:
                 still_alive.append(root)
         survivors = still_alive
     return survivors[0] if survivors else None

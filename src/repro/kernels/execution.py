@@ -198,8 +198,11 @@ def verify_kernel(
     kernel through the parallel engine and requires that result to match
     the original order too.
 
-    ``backend`` widens the gate beyond the Python paths:
+    ``backend`` widens the gate beyond the serial Python paths:
 
+    * ``"engine"`` additionally runs the persistent parallel engine
+      (:func:`run_collapsed_engine`, on an ephemeral two-worker session when
+      none is supplied) and requires its result to match;
     * ``"native"`` additionally runs the compiled C/OpenMP translation unit
       whole-range and requires *its* result to match (raising
       :class:`repro.native.NativeUnavailable` where no compiler exists —
@@ -209,10 +212,16 @@ def verify_kernel(
       (raising :class:`ValueError` otherwise), but where merely the
       *compiler* is missing the run is silently engine-executed — the
       contract there is the result, not the substrate.
+
+    All four backends share one exactness contract: index recovery is exact
+    integer arithmetic at any magnitude (big ints in the Python and engine
+    paths, ``__int128`` brackets in the compiled paths — see
+    docs/recovery.md), so a disagreement here is a kernel-body bug, never a
+    float-precision artefact of the recovery.
     """
-    if backend not in ("python", "native", "hybrid"):
+    if backend not in ("python", "engine", "native", "hybrid"):
         raise ValueError(
-            f"unknown backend {backend!r}; expected 'python', 'native' or 'hybrid'"
+            f"unknown backend {backend!r}; expected 'python', 'engine', 'native' or 'hybrid'"
         )
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
@@ -237,6 +246,19 @@ def verify_kernel(
         )
         for name in original:
             if not np.allclose(original[name], engine_result[name], atol=atol):
+                return False
+    if backend == "engine" and session is None:
+        # with an explicit session the engine comparison above already ran;
+        # otherwise gate on an ephemeral pool (never create the process-wide
+        # default session as a side effect of a verification call)
+        from ..runtime import RuntimeSession
+
+        with RuntimeSession(workers=2) as ephemeral:
+            engine_only = run_collapsed_engine(
+                kernel, parameter_values, initial, session=ephemeral
+            )
+        for name in original:
+            if not np.allclose(original[name], engine_only[name], atol=atol):
                 return False
     if backend == "native":
         native_result = run_collapsed_native(

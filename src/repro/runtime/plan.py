@@ -61,6 +61,9 @@ def per_iteration_work(
     compiled to NumPy straight-line code, and evaluated over the indices the
     batch recovery produces for the whole ``pc`` range — the same vectorized
     machinery the execution fast path uses, here powering the scheduler.
+    The recovered indices are exact at any magnitude (the batch path's
+    integer bracket pass), so adaptive chunk cuts are placed on true
+    iteration coordinates even for domains past the float64 mantissa.
     """
     model = cost_model or CostModel(collapsed.nest)
     total = collapsed.total_iterations(parameter_values)
@@ -198,6 +201,10 @@ class ExecutionPlan:
         the solved unranking goes over the wire, so workers never repeat the
         symbolic root solving, only the (fast) NumPy code generation.
         """
+        # note: the collapsed loop's pickled unranking carries the
+        # denominator-cleared bracket polynomials, so worker-side
+        # BatchRecovery instances share the parent's exact-recovery
+        # contract without re-deriving anything
         return {
             "plan_id": self.plan_id,
             "collapsed": self.collapsed,

@@ -18,6 +18,13 @@ sub-expression assigned to one temporary, shared sub-trees emitted once) and
 * ``"numpy"`` — the same straight-line code over NumPy arrays: one call
   evaluates a whole chunk of ``pc`` values.  This is the engine of
   :class:`repro.core.batch.BatchRecovery`.
+* ``"integer"`` (polynomials only) — straight-line *integer* arithmetic
+  with no coercion prologue: the polynomial must have integer coefficients
+  (see :meth:`Polynomial.integer_form`), and the compiled function computes
+  exactly over whatever integer carrier the caller passes — Python ``int``
+  scalars, ``int64`` NumPy arrays (fast, exact while magnitudes fit) or
+  ``object``-dtype arrays of big ints (exact at any magnitude).  This mode
+  powers the exact vectorized bracket checks of the batch recovery.
 
 NumPy is an optional dependency of this module alone: importing it without
 NumPy installed works, and only ``mode="numpy"`` raises.
@@ -40,16 +47,19 @@ except ImportError:  # pragma: no cover - the container bakes numpy in
     _np = None
 
 #: The evaluation modes supported by the compiler.
-MODES = ("scalar", "numpy")
+MODES = ("scalar", "numpy", "integer")
+
+#: Modes an :class:`Expr` tree supports (radical roots need complex floats).
+EXPR_MODES = ("scalar", "numpy")
 
 
 class CompileError(ValueError):
     """Raised for unknown modes, unsupported nodes or missing NumPy."""
 
 
-def _require_mode(mode: str) -> None:
-    if mode not in MODES:
-        raise CompileError(f"unknown compile mode {mode!r}; expected one of {MODES}")
+def _require_mode(mode: str, allowed=MODES) -> None:
+    if mode not in allowed:
+        raise CompileError(f"unknown compile mode {mode!r}; expected one of {allowed}")
     if mode == "numpy" and _np is None:
         raise CompileError("mode='numpy' requires NumPy, which is not installed")
 
@@ -170,7 +180,7 @@ def compile_expr(
     order; pass it explicitly to fix a calling convention (the batch
     recovery does, so ``pc`` always comes first).
     """
-    _require_mode(mode)
+    _require_mode(mode, EXPR_MODES)
     ordered = _check_variables(
         expr.variables(), variables if variables is not None else sorted(expr.variables())
     )
@@ -216,6 +226,11 @@ def _emit_polynomial(poly: Polynomial, emitter: _Emitter, mode: str) -> str:
                 factors.append(
                     emitter.assign(("const", coefficient), f"({coefficient.numerator})")
                 )
+        elif mode == "integer":
+            raise CompileError(
+                f"mode='integer' requires integer coefficients; got {coefficient} "
+                "(clear denominators with Polynomial.integer_form() first)"
+            )
         elif mode == "scalar":
             factors.append(
                 emitter.assign(
@@ -242,12 +257,15 @@ class CompiledPolynomial:
 
     Scalar mode keeps exact arithmetic — called with ``int``/``Fraction``
     arguments it returns exactly what :meth:`Polynomial.evaluate` returns.
-    NumPy mode evaluates element-wise over ``float64`` arrays.
+    NumPy mode evaluates element-wise over ``float64`` arrays.  Integer mode
+    (integer-coefficient polynomials only) emits bare integer arithmetic
+    with no coercion, so the same compiled function evaluates exactly over
+    Python ``int``, ``int64`` arrays or ``object``-dtype big-int arrays.
     """
 
     polynomial: Polynomial
     variables: Tuple[str, ...]
-    mode: str
+    mode: str                 # "scalar" | "numpy" | "integer" (exact, no coercion)
     source: str
     function: Callable
 

@@ -14,9 +14,10 @@ univariate coefficient extraction and printers for Python and C sources.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 from numbers import Rational
-from typing import Dict, Iterable, Mapping, Union
+from typing import Dict, Iterable, Mapping, Tuple, Union
 
 from .monomial import Monomial
 
@@ -229,6 +230,60 @@ class Polynomial:
 
     def __hash__(self) -> int:
         return hash(frozenset(self._terms.items()))
+
+    def denominator(self) -> int:
+        """Least common multiple of all coefficient denominators (>= 1).
+
+        For a degree-``d`` Ehrhart/ranking polynomial this divides ``d!``:
+        multiplying by it clears every fraction, which is what makes exact
+        integer bracket evaluation possible (see :meth:`integer_form`).
+        """
+        den = 1
+        for coefficient in self._terms.values():
+            den = den * coefficient.denominator // math.gcd(den, coefficient.denominator)
+        return den
+
+    def integer_form(self) -> Tuple["Polynomial", int]:
+        """The denominator-cleared pair ``(num, den)`` with ``self == num / den``.
+
+        ``num`` has integer coefficients only and ``den >= 1`` is the LCM of
+        the coefficient denominators.  A comparison ``self(x) <= q`` over
+        integers then becomes the *exact* integer comparison
+        ``num(x) <= q * den`` — no floating point anywhere.  This is the
+        foundation of the exact rank-recovery contract: every bracket check
+        in the scalar, batch, generated-Python and generated-C paths runs on
+        this form (``__int128`` in C, arbitrary-precision ``int`` in Python).
+        """
+        den = self.denominator()
+        numerator = Polynomial({m: c * den for m, c in self._terms.items()})
+        return numerator, den
+
+    def has_integer_coefficients(self) -> bool:
+        """True when every coefficient has denominator 1."""
+        return all(c.denominator == 1 for c in self._terms.values())
+
+    def evaluate_int(self, assignment: Mapping[str, int]) -> int:
+        """Exact arbitrary-precision integer evaluation.
+
+        Requires integer coefficients (:meth:`integer_form` produces them)
+        and integer variable values; arguments are coerced through ``int()``
+        so NumPy integer scalars cannot silently overflow.  This is the
+        exact-bracket primitive of the recovery guard — unlike
+        :meth:`evaluate` it never touches :class:`~fractions.Fraction`
+        arithmetic, so it is cheap enough to sit on the correction path.
+        """
+        total = 0
+        for monomial, coefficient in self._terms.items():
+            if coefficient.denominator != 1:
+                raise ValueError(
+                    f"evaluate_int requires integer coefficients; {self} has {coefficient} "
+                    "(clear denominators with integer_form() first)"
+                )
+            term = coefficient.numerator
+            for var, exp in monomial.powers:
+                term *= int(assignment[var]) ** exp
+            total += term
+        return total
 
     # ------------------------------------------------------------------ #
     # substitution and evaluation

@@ -1,0 +1,48 @@
+"""Suite-wide fixtures shared across the per-directory test packages."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+
+# ---------------------------------------------------------------------- #
+# shared exact-recovery cross-validation helper
+# ---------------------------------------------------------------------- #
+def _exact_reference_unrank(collapsed, pc, parameter_values):
+    """Independent big-int unranker: Fraction brackets + bisection.
+
+    Deliberately shares no code with the shipped recovery paths (no
+    integer_form, no compiled polynomials, no float seeds), so agreement
+    with it is cross-validation rather than self-consistency.  Used by the
+    exact-recovery pins in tests/core, tests/native and tests/integration.
+    """
+    environment = dict(parameter_values)
+    indices = []
+    for recovery in collapsed.unranking.recoveries:
+        lo = math.ceil(recovery.lower.evaluate(environment))
+        hi = math.ceil(recovery.upper.evaluate(environment)) - 1
+
+        def bracket(x):
+            point = dict(environment)
+            point[recovery.iterator] = x
+            value = recovery.bracket.evaluate(point)
+            return value if isinstance(value, Fraction) else Fraction(value)
+
+        assert bracket(lo) <= pc, "pc below the first rank of the level"
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if bracket(mid) <= pc:
+                lo = mid
+            else:
+                hi = mid - 1
+        environment[recovery.iterator] = lo
+        indices.append(lo)
+    return tuple(indices)
+
+
+@pytest.fixture(scope="session")
+def exact_reference_recover():
+    """The shared independent unranker, as a session fixture (one source of
+    truth across the tests/core, tests/native and tests/integration pins)."""
+    return _exact_reference_unrank

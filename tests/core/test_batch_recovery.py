@@ -92,9 +92,9 @@ class TestElementwiseEquality:
         exhaustive_match(figure6_nest, {"N": 12}, depth=2)
 
     def test_guard_false_loops_still_recover_exactly(self, figure6_nest):
-        # the batch path promises the *guarded* result even when the
-        # collapsed loop was built with guard=False: suspect elements must go
-        # through the guarded scalar machinery, not the unguarded floor
+        # the batch path promises the *guarded* (exact) result even when the
+        # collapsed loop was built with guard=False: the exact integer
+        # bracket pass certifies every element regardless of the flag
         unguarded = collapse(figure6_nest, guard=False)
         guarded = collapse(figure6_nest)
         values = {"N": 16}
@@ -102,8 +102,6 @@ class TestElementwiseEquality:
         recovered = batch_recovery(unguarded).recover_range(1, total, values)
         expected = np.array([guarded.recover_indices(pc, values) for pc in range(1, total + 1)])
         np.testing.assert_array_equal(recovered, expected)
-        recoverer = batch_recovery(unguarded)
-        assert recoverer._exact.guard is True
 
     def test_collapse_depth_one(self, correlation_nest):
         exhaustive_match(correlation_nest, {"N": 9}, depth=1)

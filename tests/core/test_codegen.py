@@ -113,26 +113,33 @@ class TestCCodegen:
         assert "S(i, j);" in source
 
     def test_recovery_emits_the_guarded_floor(self, collapsed_correlation):
-        """The C recovery mirrors unranking.py: epsilon-padded floor, clamp,
-        and the exact bracket correction — not the bare floor(creal(...))
-        that mis-recovers when a root lands just below an integer."""
+        """The C recovery mirrors unranking.py: epsilon-padded floor seed,
+        clamp, and the exact __int128 bracket correction — not the bare
+        floor(creal(...)) that mis-recovers when a root lands just below an
+        integer, and not the historical double/rint bracket that was only
+        exact up to ~2^45."""
         source = generate_openmp_collapsed(collapsed_correlation)
         assert "+ 1e-09" in source                      # shared FLOOR_EPSILON
         # clamp happens in double: casting an Inf/NaN or out-of-range root
         # to long long would be undefined behaviour
         assert "if (isfinite(repro_root))" in source
         assert "if (repro_root < (double)repro_lo) i = repro_lo;" in source
-        assert "while (i > repro_lo && rint(" in source  # bracket snap down
-        assert "i++;" in source.split("S(i, j);")[0]     # bracket snap up
-        # a degenerate (division-by-zero) branch falls back to exact search
-        assert "degenerate closed-form branch" in source
+        # the exact rank and the seed check on the cleared bracket numerator
+        assert "const __int128 repro_rank = (__int128)pc *" in source
+        assert "<= repro_rank" in source
+        # a missed (or non-finite) seed bisects the remaining exact window
+        assert "exact __int128 bisection" in source
+        assert "while (repro_lo < repro_hi)" in source
+        # the float-era bracket comparison is gone entirely
+        assert "rint(" not in source
         # the historical buggy form is gone
         assert "= floor(creal(csqrt" not in source
 
     def test_chunked_recovery_is_guarded_too(self, collapsed_correlation):
         source = generate_openmp_chunked(collapsed_correlation, chunk=64)
         assert "+ 1e-09" in source
-        assert "while (j < repro_hi && rint(" in source
+        assert "const __int128 repro_rank = (__int128)pc *" in source
+        assert "while (repro_lo < repro_hi)" in source
 
     def test_collapsed_c_mentions_complex_header(self, collapsed_figure6):
         source = generate_openmp_collapsed(collapsed_figure6)

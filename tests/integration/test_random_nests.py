@@ -298,3 +298,73 @@ def test_property_hybrid_matches_engine_and_native(case, schedule, runtime_engin
     )
     module.run({"visits": native_visits}, values, threads=2)
     assert np.array_equal(native_visits, hybrid_visits)
+
+
+# ---------------------------------------------------------------------- #
+# exact recovery at magnitudes straddling 2^45 (all four backends)
+# ---------------------------------------------------------------------- #
+# the independent big-int reference unranker comes from the shared
+# ``exact_reference_recover`` session fixture (tests/conftest.py)
+
+
+@st.composite
+def huge_simplex_cases(draw):
+    """Random depth-3 simplex-like nests instantiated so the collapsed trip
+    count lands below, around, or above 2^45 — the historical float-trust
+    threshold of the batch path (and the practical limit of the old
+    double/rint brackets in the generated C)."""
+    inner_lower, inner_upper = draw(
+        st.sampled_from([("0", "i + 1"), ("0", "j + 2"), ("j", "i + j + 1"), ("0", "i + j + 1")])
+    )
+    nest = LoopNest(
+        [
+            Loop.make("i", 0, "N"),
+            Loop.make("j", 0, "i + 1"),
+            Loop.make("k", inner_lower, inner_upper),
+        ],
+        parameters=["N"],
+        name="huge_random3",
+    )
+    n = draw(st.sampled_from([40_000, 60_000, 90_000, 150_000, 400_000]))
+    return nest, {"N": n}
+
+
+@settings(max_examples=5, deadline=None)
+@given(case=huge_simplex_cases())
+def test_property_recovery_is_exact_straddling_2_to_45(case, exact_reference_recover):
+    """Differential property: at probe ranks spanning both sides of 2^45,
+    the scalar recovery, the batch recovery (the python/engine substrate)
+    and — where a compiler exists — the compiled ``repro_recover_range``
+    and the hybrid ``repro_run_range`` seed all agree with an independent
+    big-int reference."""
+    import numpy as np
+
+    from repro.core import batch_recovery
+
+    nest, values = case
+    collapsed = collapse(nest)
+    total = collapsed.total_iterations(values)
+    n = values["N"]
+
+    pcs = {1, 2, total // 2, total - 1, total}
+    for i in (n - 1, n // 2):
+        rank = collapsed.rank_of((i, 0, 0), values)  # first rank of an outer level
+        pcs.update({rank - 1, rank, rank + 1})
+    for point in (2**45, 2**50):
+        if 1 < point <= total:
+            pcs.update({point - 1, point, point + 1})
+    pcs = sorted(pc for pc in pcs if 1 <= pc <= total)
+
+    expected = [exact_reference_recover(collapsed, pc, values) for pc in pcs]
+    batch = batch_recovery(collapsed).recover_pcs(np.array(pcs, dtype=np.int64), values)
+    assert [tuple(row) for row in batch] == expected
+    assert [collapsed.recover_indices(pc, values) for pc in pcs] == expected
+
+    from repro.native import native_available
+
+    if native_available():
+        from repro.native import compile_collapsed
+
+        module = compile_collapsed(collapsed)
+        for pc, indices in zip(pcs, expected):
+            assert tuple(module.recover_range(pc, pc, values)[0]) == indices, pc

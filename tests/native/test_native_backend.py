@@ -197,6 +197,84 @@ class TestSixtyFourBitArithmetic:
         assert np.array_equal(visits, expected)
 
 
+class TestExactRecoveryHugeRanges:
+    """The exact-recovery acceptance pin (ISSUE 5): a depth-3 nest with more
+    than 2^50 collapsed iterations recovers indices exactly in the compiled
+    backends.
+
+    At ``N = 400000`` the simplex3 domain holds ~2^53.2 ranks.  The
+    pre-__int128 emitted C — ``rint`` on double brackets, double-rounded
+    totals — mis-recovered *every* probed level boundary at this size; the
+    emitted seed-then-correct scheme over ``__int128`` integer brackets must
+    agree with an independent big-int reference on every probe, for both the
+    native entry points (``repro_recover_range``) and the hybrid substrate
+    (``repro_run_range``'s recover-once-then-increment).
+    """
+
+    N = 400000  # total = 10 666 746 666 800 000 ≈ 2^53.2 > 2^50
+
+    # the independent big-int reference unranker comes from the shared
+    # ``exact_reference_recover`` session fixture (tests/conftest.py)
+
+    def _probe_firsts(self, collapsed, values):
+        total = collapsed.total_iterations(values)
+        firsts = {1, total - 9}
+        for i in (self.N - 1, self.N - 7, self.N // 2):
+            firsts.add(collapsed.rank_of((i, 0, 0), values) - 5)
+        for point in (2**45, 2**50):
+            firsts.add(point - 5)
+        return sorted(first for first in firsts if 1 <= first <= total - 9)
+
+    def test_total_is_exact_past_2_to_50(self, simplex3_nest):
+        collapsed = collapse(simplex3_nest)
+        values = {"N": self.N}
+        total = collapsed.total_iterations(values)
+        assert total > 2**50
+        module = compile_collapsed(collapsed)
+        assert module.total(values) == total
+
+    def test_recover_range_windows_match_exact_reference(
+        self, simplex3_nest, exact_reference_recover
+    ):
+        collapsed = collapse(simplex3_nest)
+        values = {"N": self.N}
+        module = compile_collapsed(collapsed)
+        for first in self._probe_firsts(collapsed, values):
+            native = module.recover_range(first, first + 9, values)
+            expected = [
+                exact_reference_recover(collapsed, pc, values)
+                for pc in range(first, first + 10)
+            ]
+            assert [tuple(row) for row in native] == expected, first
+            # and the batch (python/engine substrate) agrees on the same window
+            batch = batch_recovery(collapsed).recover_range(first, first + 9, values)
+            assert np.array_equal(batch, native), first
+
+    def test_hybrid_run_range_chunks_recover_exactly(self, simplex3_nest, exact_reference_recover):
+        """The hybrid substrate: ``repro_run_range`` recovers once at the
+        chunk's first pc (deep inside the >2^50 domain) and increments —
+        the traced index tuples must match the exact reference."""
+        collapsed = collapse(simplex3_nest)
+        values = {"N": self.N}
+        module = compile_collapsed(
+            collapsed,
+            body=(
+                "trace(pc % 64, 0) = (double)i; "
+                "trace(pc % 64, 1) = (double)j; "
+                "trace(pc % 64, 2) = (double)k;"
+            ),
+            arrays=("trace",),
+        )
+        for first in self._probe_firsts(collapsed, values):
+            trace = np.full((64, 3), -1.0)
+            executed = module.run_range({"trace": trace}, values, first, first + 9)
+            assert executed == 10
+            for pc in range(first, first + 10):
+                assert tuple(trace[pc % 64].astype(np.int64)) == exact_reference_recover(
+                    collapsed, pc, values
+                ), (first, pc)
+
+
 # ---------------------------------------------------------------------- #
 # kernel execution
 # ---------------------------------------------------------------------- #
