@@ -581,11 +581,16 @@ def generate_translation_unit(
       schedule and reports, per thread, the iteration count, wall-clock
       seconds and the span of ``pc`` values it ran; returns the team size;
     * ``long long repro_run_range(params, first_pc, last_pc, arrays,
-      strides)`` — the *serial* sub-range entry point of the hybrid
-      backend: recovers the indices once at ``first_pc`` and walks the
-      contiguous chunk with Fig. 4-style incrementation, executing ``body``
-      at every iteration; returns the executed count.  No OpenMP team is
-      started — the caller (a runtime-engine worker) owns the parallelism.
+      strides, double *seconds)`` — the *serial* sub-range entry point of
+      the hybrid backend: recovers the indices once at ``first_pc`` and
+      walks the contiguous chunk with Fig. 4-style incrementation,
+      executing ``body`` at every iteration; returns the executed count.
+      No OpenMP team is started — the caller (a runtime-engine worker)
+      owns the parallelism.  When ``seconds`` is non-NULL the chunk's own
+      wall-clock (``omp_get_wtime``, or the ``clock()`` fallback without
+      OpenMP) is written through it: measured *inside* the foreign call,
+      so queue latency and ``ctypes`` dispatch never pollute the chunk
+      profile the scheduler feeds on (see ``repro.runtime.profile``).
 
     ``body`` is C source executed once per collapsed iteration with the
     recovered iterators and the parameters in scope as ``long long``; each
@@ -729,12 +734,23 @@ def generate_translation_unit(
         "                          long long last_pc, double *const *repro_arrays,"
     )
     lines.append(
-        "                          const long long *repro_strides) {"
+        "                          const long long *repro_strides, double *repro_seconds) {"
     )
     lines.extend(_param_prologue(collapsed, "  "))
     lines.extend(_array_prologue_lines(arrays, ndims, "  "))
     lines.append("  (void)repro_arrays; (void)repro_strides;")
-    lines.append("  if (last_pc < first_pc) return 0;")
+    lines.append("  if (last_pc < first_pc) {")
+    lines.append("    if (repro_seconds) *repro_seconds = 0.0;")
+    lines.append("    return 0;")
+    lines.append("  }")
+    lines.append("  /* chunk wall-clock measured inside the foreign call: what the")
+    lines.append("     profile store records is pure chunk compute, free of queue")
+    lines.append("     latency and ctypes dispatch */")
+    lines.append("#ifdef _OPENMP")
+    lines.append("  const double repro_t0 = omp_get_wtime();")
+    lines.append("#else")
+    lines.append("  const clock_t repro_t0 = clock();")
+    lines.append("#endif")
     lines.append(f"  {declare_iters}")
     lines.append("  {")
     lines.append("    /* chunk ranges are contiguous: recover once, then increment */")
@@ -749,6 +765,13 @@ def generate_translation_unit(
         lines.append("    }")
     lines.append("    /* indices incrementation as in the original loop nest */")
     lines.extend("    " + line for line in _c_increment_lines(collapsed))
+    lines.append("  }")
+    lines.append("  if (repro_seconds) {")
+    lines.append("#ifdef _OPENMP")
+    lines.append("    *repro_seconds = omp_get_wtime() - repro_t0;")
+    lines.append("#else")
+    lines.append("    *repro_seconds = (double)(clock() - repro_t0) / CLOCKS_PER_SEC;")
+    lines.append("#endif")
     lines.append("  }")
     lines.append("  return last_pc - first_pc + 1;")
     lines.append("}")

@@ -179,6 +179,39 @@ def run_collapsed_hybrid(
     )
 
 
+def run_collapsed_auto(
+    kernel: Kernel,
+    parameter_values: Mapping[str, int],
+    data: Optional[DataDict] = None,
+    workers: int = 2,
+    schedule: str = "adaptive",
+    session=None,
+) -> DataDict:
+    """Run the kernel on whichever substrate the profile store says is fastest.
+
+    The ``backend="auto"`` convenience wrapper: the session resolves
+    engine/native/hybrid viability, explores each untimed candidate once and
+    then exploits the measured-fastest one
+    (:func:`repro.runtime.resolve_auto_backend`); every run — this one
+    included — banks its timings, so the choice sharpens as the store warms.
+    The result is element-wise identical whichever substrate runs, which
+    :func:`verify_kernel` with ``backend="auto"`` asserts.
+    """
+    from ..runtime import collapse_and_run  # deferred: runtime sits above kernels
+
+    if not kernel.is_executable:
+        raise ValueError(f"kernel {kernel.name!r} has no executable body")
+    return collapse_and_run(
+        kernel,
+        parameter_values,
+        workers=workers,
+        schedule=schedule,
+        data=_clone_data(data) if data is not None else None,
+        session=session,
+        backend="auto",
+    )
+
+
 def verify_kernel(
     kernel: Kernel,
     parameter_values: Optional[Mapping[str, int]] = None,
@@ -211,7 +244,13 @@ def verify_kernel(
       path (:func:`run_collapsed_hybrid`); the kernel needs a ``c_body``
       (raising :class:`ValueError` otherwise), but where merely the
       *compiler* is missing the run is silently engine-executed — the
-      contract there is the result, not the substrate.
+      contract there is the result, not the substrate;
+    * ``"auto"`` resolves to whatever substrate ``backend="auto"`` would
+      run on this machine right now
+      (:func:`repro.runtime.resolve_auto_backend` — profile-guided when
+      the store is warm, heuristic when cold) and gates *that* backend,
+      so the autotuned path is differentially checked against the serial
+      baselines exactly like an explicitly chosen one.
 
     All four backends share one exactness contract: index recovery is exact
     integer arithmetic at any magnitude (big ints in the Python and engine
@@ -219,13 +258,20 @@ def verify_kernel(
     docs/recovery.md), so a disagreement here is a kernel-body bug, never a
     float-precision artefact of the recovery.
     """
-    if backend not in ("python", "engine", "native", "hybrid"):
+    if backend not in ("python", "engine", "native", "hybrid", "auto"):
         raise ValueError(
-            f"unknown backend {backend!r}; expected 'python', 'engine', 'native' or 'hybrid'"
+            f"unknown backend {backend!r}; expected 'python', 'engine', 'native', "
+            "'hybrid' or 'auto'"
         )
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
     parameter_values = dict(parameter_values or kernel.bench_parameters)
+    if backend == "auto":
+        from ..runtime import resolve_auto_backend  # deferred: runtime sits above kernels
+
+        backend = resolve_auto_backend(kernel, parameter_values)
+        if backend not in ("engine", "native", "hybrid"):
+            backend = "engine"  # auto degraded: gate the engine baseline
     initial = kernel.make_data(parameter_values)
 
     original = run_original(kernel, parameter_values, initial)

@@ -11,6 +11,9 @@ times, and a schedule decision — including the cost-model-driven
   ``adaptive`` chunker,
 * :mod:`repro.runtime.shm` — :class:`SharedBuffers` segment management,
 * :mod:`repro.runtime.engine` — the persistent :class:`RuntimeEngine`,
+* :mod:`repro.runtime.profile` — the unified timing layer: the persistent
+  :class:`ProfileStore`, profile-guided chunk re-cutting and the
+  ``backend="auto"`` choice policy,
 * :mod:`repro.runtime.session` — plan-caching :class:`RuntimeSession` and
   the one-call :func:`collapse_and_run`.
 
@@ -27,11 +30,22 @@ from .plan import (
     per_iteration_work,
 )
 from .engine import EngineError, EngineRunResult, RuntimeEngine
+from .profile import (
+    BackendProfile,
+    ChunkProfile,
+    ProfileError,
+    ProfileStore,
+    choose_backend,
+    default_profile_store,
+    profile_guided_chunks,
+    profile_key,
+)
 from .session import (
     RuntimeSession,
     close_default_session,
     collapse_and_run,
     default_session,
+    resolve_auto_backend,
 )
 
 __all__ = [
@@ -47,8 +61,17 @@ __all__ = [
     "EngineError",
     "EngineRunResult",
     "RuntimeEngine",
+    "BackendProfile",
+    "ChunkProfile",
+    "ProfileError",
+    "ProfileStore",
+    "choose_backend",
+    "default_profile_store",
+    "profile_guided_chunks",
+    "profile_key",
     "RuntimeSession",
     "close_default_session",
     "collapse_and_run",
     "default_session",
+    "resolve_auto_backend",
 ]

@@ -69,6 +69,27 @@ class EngineRunResult:
     ``"hybrid"`` (every chunk went through the plan's compiled
     ``repro_run_range``) or ``"native"``
     (:class:`~repro.native.NativeRunResult`, whole-range OpenMP).
+
+    **Timing schema** (one contract across every backend; asserted by
+    ``tests/runtime/test_timing_schema.py``):
+
+    * ``chunks``, ``results``, ``assignments`` and ``chunk_seconds`` are
+      index-aligned — entry *k* of each describes the same unit of work
+      (a scheduled chunk here; an OpenMP thread's span on
+      :class:`~repro.native.NativeRunResult`);
+    * every value in ``chunk_seconds`` is wall-clock **seconds on a
+      monotonic clock, measured inside the executing substrate** —
+      ``time.perf_counter`` around the chunk body in an engine worker,
+      ``omp_get_wtime`` inside the compiled ``repro_run_range`` for
+      hybrid chunks and inside ``repro_run`` for native threads — so
+      queue latency and dispatch overhead are excluded on all backends;
+    * ``elapsed_seconds`` is the parent's ``time.perf_counter`` span
+      around the whole run (dispatch included): the number backends are
+      *compared* by, where ``chunk_seconds`` is what schedules are
+      *re-cut* from.
+
+    :meth:`chunk_records` renders the per-chunk view in the profile
+    store's :class:`~repro.runtime.profile.ChunkProfile` schema.
     """
 
     results: Tuple[Any, ...]
@@ -83,6 +104,22 @@ class EngineRunResult:
     @property
     def iterations(self) -> int:
         return sum(chunk.size for chunk in self.chunks)
+
+    def chunk_records(self):
+        """The run's measurements as profile-store :class:`ChunkProfile` rows.
+
+        One row per chunk with a recorded time, pairing the chunk's ``pc``
+        span with its substrate-internal seconds — the exact payload
+        :meth:`ProfileStore.record <repro.runtime.profile.ProfileStore.record>`
+        banks and :func:`~repro.runtime.profile.profile_guided_chunks`
+        re-cuts from.
+        """
+        from .profile import ChunkProfile  # deferred: profile imports schedule
+
+        return tuple(
+            ChunkProfile(first_pc=chunk.first, last_pc=chunk.last, seconds=float(seconds))
+            for chunk, seconds in zip(self.chunks, self.chunk_seconds)
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -157,21 +194,27 @@ class _WorkerPlan:
             self.buffers.close()
             self.buffers = None
 
-    def execute(self, first_pc: int, last_pc: int) -> int:
-        """Run one chunk against the attached shared arrays; return its size.
+    def execute(self, first_pc: int, last_pc: int) -> Tuple[int, Optional[float]]:
+        """Run one chunk against the attached shared arrays.
 
-        Preference order: the plan's compiled ``repro_run_range`` (hybrid
-        backend, one foreign call per chunk), then the vectorized
-        ``chunk_op`` over a batch-recovered index array, then the scalar
-        ``iteration_op`` walk.
+        Returns ``(count, seconds)`` where ``seconds`` is the chunk's own
+        wall-clock measured *inside* the substrate when it can measure
+        itself (the compiled ``repro_run_range`` reports ``omp_get_wtime``
+        through the ABI) and ``None`` otherwise — the dispatch loop then
+        substitutes its own ``perf_counter`` span around this call, which
+        for the Python paths is the same "inside the worker, outside the
+        queue" measurement.  Preference order: the plan's compiled
+        ``repro_run_range`` (hybrid backend, one foreign call per chunk),
+        then the vectorized ``chunk_op`` over a batch-recovered index
+        array, then the scalar ``iteration_op`` walk.
         """
         if self.native_runner is not None:
-            return self.native_runner.run_range(first_pc, last_pc)
+            return self.native_runner.run_range_timed(first_pc, last_pc)
         data = self.buffers.arrays if self.buffers is not None else {}
         if self.chunk_op is not None and self.batch is not None:
             indices = self.batch.recover_range(first_pc, last_pc, self.parameter_values)
             self.chunk_op(data, indices, self.parameter_values)
-            return int(indices.shape[0])
+            return int(indices.shape[0]), None
         if self.iteration_op is None:
             raise EngineError(
                 "plan has no Python operations to fall back on (native-only plan "
@@ -181,7 +224,7 @@ class _WorkerPlan:
         for index_tuple in self.chunk_indices(first_pc, last_pc):
             self.iteration_op(data, index_tuple, self.parameter_values)
             count += 1
-        return count
+        return count, None
 
 
 def _worker_main(worker_id: int, commands, results) -> None:
@@ -222,11 +265,18 @@ def _worker_main(worker_id: int, commands, results) -> None:
                     raise state
                 if state is None:
                     raise EngineError(f"plan {plan_id!r} is not registered in worker {worker_id}")
-                count = state.execute(first_pc, last_pc)
+                count, inner_seconds = state.execute(first_pc, last_pc)
                 native = state.native_runner is not None
-                results.put(
-                    ("ok", task_id, worker_id, count, time.perf_counter() - started, native)
+                # one timing schema for every substrate: the C-internal
+                # measurement when the chunk ran natively, the worker's own
+                # perf_counter span around the Python ops otherwise — both
+                # exclude queue latency, so profiles compare across backends
+                seconds = (
+                    inner_seconds
+                    if inner_seconds is not None
+                    else time.perf_counter() - started
                 )
+                results.put(("ok", task_id, worker_id, count, seconds, native))
             except Exception:
                 results.put(("error", task_id, worker_id, traceback.format_exc(), 0.0))
         elif tag == "call":

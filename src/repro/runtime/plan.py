@@ -36,6 +36,12 @@ from ..ir import LoopNest
 from ..openmp.costmodel import CostModel
 from ..openmp.schedule import Chunk, ScheduleKind, ScheduleSpec, schedule_chunks
 from ..symbolic.compile import compile_polynomial
+from .profile import (
+    ProfileError,
+    default_profile_store,
+    profile_guided_chunks,
+    profile_key,
+)
 
 _PLAN_IDS = itertools.count(1)
 
@@ -150,11 +156,17 @@ class ExecutionPlan:
     #: the cached shared object by path and run chunks through its serial
     #: ``repro_run_range`` — the hybrid backend's substrate
     native_spec: Optional["NativeLibrarySpec"] = None
-    #: chunk partitions per worker count — plans are immutable, so a policy's
-    #: partition is deterministic and computed once (the adaptive one walks
-    #: the whole pc range; paying that on every dispatch would tax the very
-    #: hot path the plan exists to keep clean)
-    _chunk_cache: Dict[int, List[Chunk]] = field(
+    #: the plan's key in the persistent :class:`~repro.runtime.profile.ProfileStore`
+    #: (set by :func:`build_plan`): when a warm profile exists under it, the
+    #: ``adaptive`` policy re-cuts its chunks from *measured* chunk seconds
+    #: instead of the analytic cost model
+    profile_key: Optional[str] = None
+    #: chunk partitions per worker count, memoised with the profile-store
+    #: change token they were cut against — plans are immutable and the
+    #: adaptive cut walks the whole pc range, so dispatch must not repay it;
+    #: but a fresh measurement (new token) invalidates the memo, which is
+    #: how the measure→schedule loop closes between runs
+    _chunk_cache: Dict[int, Tuple[int, List[Chunk]]] = field(
         default_factory=dict, compare=False, repr=False
     )
 
@@ -165,31 +177,51 @@ class ExecutionPlan:
     def chunks(self, workers: int) -> List[Chunk]:
         """The chunk partition this plan's policy produces for ``workers``.
 
-        ``ADAPTIVE`` sizes chunks by estimated per-iteration work; ``DYNAMIC``
+        ``ADAPTIVE`` sizes chunks by *measured* per-chunk seconds when the
+        persistent profile store holds a warm profile for this plan's key
+        (:func:`~repro.runtime.profile.profile_guided_chunks`) and by the
+        cost model's estimated per-iteration work otherwise — the paper's
+        collapsed-schedule argument closed into a feedback loop; ``DYNAMIC``
         without an explicit chunk size uses an oversubscribed equal split
         (OpenMP's default chunk of 1 would mean one queue round-trip per
         iteration, a pure-overhead regime the simulator already covers);
         the classic kinds delegate to :func:`repro.openmp.schedule_chunks`.
-        Partitions are memoised per worker count — built once, like the plan.
+        Partitions are memoised per worker count against the profile
+        store's change token — a new measurement re-cuts, an unchanged
+        store costs one ``stat`` per dispatch.
         """
+        adaptive = self.schedule.kind is ScheduleKind.ADAPTIVE
+        token = 0
+        if adaptive and self.profile_key is not None:
+            token = default_profile_store().token(self.profile_key)
         cached = self._chunk_cache.get(workers)
-        if cached is not None:
-            return list(cached)
+        if cached is not None and cached[0] == token:
+            return list(cached[1])
         total = self.total_iterations
-        if self.schedule.kind is ScheduleKind.ADAPTIVE:
-            chunks = adaptive_chunks(
-                self.collapsed,
-                self.parameter_values,
-                workers,
-                oversubscribe=self.oversubscribe,
-                cost_model=self.cost_model,
-            )
+        if adaptive:
+            chunks = []
+            if token:
+                segments = default_profile_store().segments(
+                    self.profile_key,
+                    total,
+                    prefer_backend="hybrid" if self.native_spec is not None else "engine",
+                )
+                count = min(total, max(1, workers * max(1, self.oversubscribe)))
+                chunks = profile_guided_chunks(segments, total, count)
+            if not chunks:  # cold store (or unusable measurements): a priori model
+                chunks = adaptive_chunks(
+                    self.collapsed,
+                    self.parameter_values,
+                    workers,
+                    oversubscribe=self.oversubscribe,
+                    cost_model=self.cost_model,
+                )
         elif self.schedule.kind is ScheduleKind.DYNAMIC and self.schedule.chunk_size is None:
             chunk = max(1, -(-total // (workers * max(1, self.oversubscribe))))
             chunks = schedule_chunks(ScheduleSpec(ScheduleKind.DYNAMIC, chunk), total, workers)
         else:
             chunks = schedule_chunks(self.schedule, total, workers)
-        self._chunk_cache[workers] = chunks
+        self._chunk_cache[workers] = (token, chunks)
         return list(chunks)
 
     def payload(self) -> dict:
@@ -346,6 +378,11 @@ def build_plan(
                     f"or a registered kernel ({error})"
                 ) from error
 
+    try:
+        plan_profile_key = profile_key(source, parameter_values, spec, depth=depth)
+    except ProfileError:
+        plan_profile_key = None  # unfingerprintable source: plan runs unprofiled
+
     return ExecutionPlan(
         plan_id=f"plan-{next(_PLAN_IDS)}",
         collapsed=collapsed,
@@ -358,4 +395,5 @@ def build_plan(
         oversubscribe=oversubscribe,
         cost_model=cost_model,
         native_spec=native_spec,
+        profile_key=plan_profile_key,
     )

@@ -21,13 +21,140 @@ first call and is torn down at interpreter exit.
 from __future__ import annotations
 
 import atexit
+import os
 import threading
 from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
 
 from ..openmp.schedule import ScheduleSpec
 from .engine import EngineRunResult, RuntimeEngine
 from .plan import ExecutionPlan, PlanError, build_plan
+from .profile import ProfileError, choose_backend, default_profile_store, profile_key
 from .shm import SharedBuffers
+
+
+def _profile_key_or_none(source, parameter_values, schedule, depth=None) -> Optional[str]:
+    """The source's profile-store key, or ``None`` for unfingerprintable ones."""
+    try:
+        return profile_key(source, parameter_values, schedule, depth=depth)
+    except ProfileError:
+        return None
+
+
+def resolve_auto_backend(
+    source,
+    parameter_values: Mapping[str, int],
+    schedule: object = "adaptive",
+    depth: Optional[int] = None,
+    data=None,
+    store=None,
+    allow_native: bool = True,
+    **plan_kwargs,
+) -> str:
+    """The substrate ``backend="auto"`` runs on: measured when warm, heuristic when cold.
+
+    The decision has two stages.  *Viability* first: ``native`` needs a
+    native-capable source (a kernel ``c_body``, a parseable nest — with
+    caller ``data`` — or an explicit ``c_body=``), a present C compiler and
+    ``allow_native`` (sessions clear it when engine-only options like
+    ``depth``/``recovery`` are in play); ``hybrid`` needs the same native
+    capability and compiler; ``engine`` needs Python operations (an
+    executable kernel or ``iteration_op``/``chunk_op``).  On machines with
+    ``os.cpu_count() <= 2`` the ``hybrid`` candidate is dropped whenever
+    ``native`` is viable — per-chunk dispatch through a 1–2 worker pool
+    cannot beat the whole-range OpenMP call there, so auto pins native
+    (mirroring ``benchmarks/bench_hybrid_backend.py``'s derated gate).
+
+    Then *choice*: among the viable candidates,
+    :func:`~repro.runtime.profile.choose_backend` explores any substrate the
+    :class:`~repro.runtime.profile.ProfileStore` has no timing for yet (in
+    heuristic order — the decision matrix of docs/architecture.md) and
+    afterwards exploits the measured-fastest by median whole-run seconds.
+
+    Degradation mirrors the hybrid contract: with nothing viable the
+    function returns ``"engine"`` rather than raising, so the caller sees
+    the engine's actionable error (missing ops, unknown kernel) instead of
+    a second-hand resolver failure.
+    """
+    backend, _settled = _resolve_auto(
+        source,
+        parameter_values,
+        schedule=schedule,
+        depth=depth,
+        data=data,
+        store=store,
+        allow_native=allow_native,
+        **plan_kwargs,
+    )
+    return backend
+
+
+def _resolve_auto(
+    source,
+    parameter_values: Mapping[str, int],
+    schedule: object = "adaptive",
+    depth: Optional[int] = None,
+    data=None,
+    store=None,
+    allow_native: bool = True,
+    **plan_kwargs,
+) -> Tuple[str, bool]:
+    """:func:`resolve_auto_backend` plus a *settled* flag.
+
+    ``settled`` is ``True`` only for an exploit-phase choice — every viable
+    candidate has a recorded timing, so the decision is stable enough for
+    :class:`RuntimeSession` to memoise; an exploration pick or a degraded
+    default must be re-resolved on the next call.
+    """
+    from ..ir import LoopNest
+    from ..kernels import Kernel, get_kernel
+    from ..native import native_available
+
+    resolved = get_kernel(source) if isinstance(source, str) else source
+    kernel = resolved if isinstance(resolved, Kernel) else None
+
+    python_ops = (kernel is not None and kernel.is_executable) or any(
+        plan_kwargs.get(name) is not None for name in ("iteration_op", "chunk_op")
+    )
+    native_capable = plan_kwargs.get("c_body") is not None
+    if kernel is not None:
+        native_capable = native_capable or kernel.supports_native
+    elif isinstance(resolved, LoopNest) and not native_capable:
+        from ..ir.parser import ParseError, native_body
+
+        try:
+            native_body(resolved)
+        except ParseError:
+            native_capable = False
+        else:
+            native_capable = True
+    compiled = native_capable and native_available()
+
+    whole_range_ok = kernel is not None or (isinstance(resolved, LoopNest) and data is not None)
+    candidates = []
+    if compiled and allow_native and whole_range_ok:
+        candidates.append("native")
+    if compiled:
+        candidates.append("hybrid")
+    if python_ops:
+        candidates.append("engine")
+    if not candidates:
+        return "engine", False
+
+    cpus = os.cpu_count() or 1
+    if cpus <= 2 and "native" in candidates and "hybrid" in candidates:
+        candidates.remove("hybrid")
+    heuristic = ("native", "engine") if cpus <= 2 else ("hybrid", "native", "engine")
+    if len(candidates) == 1:
+        return candidates[0], True
+    key = _profile_key_or_none(source, parameter_values, schedule, depth)
+    profiles = (store or default_profile_store()).load(key) if key else {}
+    settled = all(
+        name in profiles and profiles[name].median_elapsed is not None
+        for name in candidates
+    )
+    return choose_backend(profiles, candidates, heuristic), settled
 
 
 def _structural_key(plan_source, parameter_values, spec, recovery, depth) -> tuple:
@@ -72,6 +199,13 @@ def _structural_key(plan_source, parameter_values, spec, recovery, depth) -> tup
     )
 
 
+#: settled auto resolutions are reused this many times before the session
+#: re-reads the profile store — new measurements land every run, but medians
+#: over the elapsed window move slowly, so a bounded-staleness memo buys back
+#: the resolver's store read on the hot path without freezing the choice
+AUTO_REVALIDATE_EVERY = 8
+
+
 class RuntimeSession:
     """Plan cache + persistent engine + (optionally) persistent buffers."""
 
@@ -79,6 +213,11 @@ class RuntimeSession:
         self.engine = RuntimeEngine(workers=workers, start_method=start_method)
         self._plans: Dict[tuple, ExecutionPlan] = {}
         self._buffers: Dict[str, SharedBuffers] = {}  # plan_id -> session-owned buffers
+        #: settled ``backend="auto"`` resolutions, re-validated every
+        #: AUTO_REVALIDATE_EVERY uses: (profile key, option signature) ->
+        #: (backend, remaining uses).  Exploration picks are never memoised,
+        #: so every untimed candidate still gets its measurement run.
+        self._auto_memo: Dict[tuple, Tuple[str, int]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -171,12 +310,54 @@ class RuntimeSession:
           compiler (no silent fallback: its OpenMP team and schedule are
           the thing being requested).
 
+        ``backend="auto"`` closes the measure→schedule loop one level up:
+        every run (any backend) banks its timings in the persistent
+        :class:`~repro.runtime.profile.ProfileStore` under the plan's key,
+        and ``auto`` resolves to the viable substrate those profiles say is
+        fastest — exploring each untimed candidate once (heuristic order)
+        before exploiting the measured best.  Cold stores fall back to the
+        static decision matrix; an unviable candidate set degrades to the
+        engine, mirroring the hybrid missing-compiler contract.
+
         ``threads`` caps the native OpenMP team (defaulting to the engine's
         worker count) and is rejected on the engine/hybrid backends, whose
         parallelism is the session's ``workers``.
         """
         from ..kernels import get_kernel
 
+        if backend == "auto":
+            if threads is not None:
+                # threads is a native-only option: a caller pinning the
+                # OpenMP team size has already chosen the substrate
+                backend = "native"
+            else:
+                allow_native = (
+                    depth is None and recovery == "compiled" and fresh_data is True
+                    and not plan_kwargs
+                )
+                memo_key = (
+                    _profile_key_or_none(source, parameter_values, schedule, depth),
+                    allow_native,
+                    data is None,
+                )
+                cached = self._auto_memo.get(memo_key) if memo_key[0] else None
+                if cached is not None and cached[1] > 0:
+                    backend = cached[0]
+                    self._auto_memo[memo_key] = (backend, cached[1] - 1)
+                else:
+                    backend, settled = _resolve_auto(
+                        source,
+                        parameter_values,
+                        schedule=schedule,
+                        depth=depth,
+                        data=data,
+                        allow_native=allow_native,
+                        **plan_kwargs,
+                    )
+                    if memo_key[0] is not None and settled:
+                        self._auto_memo[memo_key] = (backend, AUTO_REVALIDATE_EVERY)
+                    else:
+                        self._auto_memo.pop(memo_key, None)
         if backend == "native":
             # reject rather than silently drop anything only the engine honours
             engine_only = sorted(plan_kwargs)
@@ -196,7 +377,8 @@ class RuntimeSession:
             )
         if backend not in ("engine", "hybrid"):
             raise PlanError(
-                f"unknown backend {backend!r}; expected 'engine', 'hybrid' or 'native'"
+                f"unknown backend {backend!r}; expected 'auto', 'engine', 'hybrid' "
+                "or 'native'"
             )
         if threads is not None:
             raise PlanError(
@@ -244,11 +426,11 @@ class RuntimeSession:
 
         if kernel is None:
             if data is None:
-                return self.engine.execute(plan)
+                return self.execute(plan)
             # nest sources run over the caller's arrays: stage them in shared
             # memory, execute, and copy the mutations back in place
             with SharedBuffers.create(dict(data)) as buffers:
-                result = self.engine.execute(plan, buffers=buffers)
+                result = self.execute(plan, buffers=buffers)
                 for name, value in buffers.arrays.items():
                     data[name][...] = value
                 self.engine.forget(plan)
@@ -256,7 +438,7 @@ class RuntimeSession:
 
         if data is not None:
             with SharedBuffers.create(dict(data)) as buffers:
-                self.engine.execute(plan, buffers=buffers)
+                self.execute(plan, buffers=buffers)
                 result = buffers.snapshot()
                 # workers must not keep mappings of segments about to vanish
                 self.engine.forget(plan)
@@ -268,12 +450,42 @@ class RuntimeSession:
             self._buffers[plan.plan_id] = buffers
         elif fresh_data:
             buffers.fill_from(kernel.make_data(parameter_values))
-        self.engine.execute(plan, buffers=buffers)
+        self.execute(plan, buffers=buffers)
         return buffers.snapshot()
 
     def execute(self, plan: ExecutionPlan, buffers: Optional[SharedBuffers] = None) -> EngineRunResult:
-        """Low-level pass-through for callers managing plans/buffers themselves."""
-        return self.engine.execute(plan, buffers=buffers)
+        """Engine pass-through for callers managing plans/buffers themselves.
+
+        Like every session execution path, the run's timings are banked in
+        the profile store under the plan's ``profile_key`` (when it has one)
+        — recording is the session layer's job, so direct-engine callers
+        stay profile-free.
+        """
+        result = self.engine.execute(plan, buffers=buffers)
+        self._bank(plan.profile_key, result)
+        return result
+
+    def _bank(self, key: Optional[str], result) -> None:
+        """Bank one run's timings in the profile store; never raises.
+
+        ``result`` is any object speaking the timing schema
+        (:class:`EngineRunResult` or :class:`~repro.native.NativeRunResult`).
+        A failure to persist — read-only store root, disk full — must not
+        turn a successful run into an error, so this swallows everything.
+        """
+        if key is None or result is None:
+            return
+        try:
+            default_profile_store().record(
+                key,
+                result.backend,
+                elapsed_seconds=float(result.elapsed_seconds),
+                workers=int(result.workers) or self.engine.workers,
+                total_iterations=int(result.iterations),
+                chunks=result.chunk_records(),
+            )
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     # native backend
@@ -303,33 +515,49 @@ class RuntimeSession:
         engine's worker count, keeping the backends' parallelism
         comparable.  Raises :class:`~repro.native.NativeUnavailable` where
         no C compiler exists.
+
+        The run's timings are banked in the profile store under the key of
+        the *requested* schedule spelling (before the adaptive→static
+        normalisation), so a native run and an engine/hybrid run of the
+        same configuration land in the same store entry — which is what
+        lets ``backend="auto"`` compare them.
         """
         from ..ir import LoopNest
-        from ..kernels import Kernel, run_collapsed_native
+        from ..kernels import Kernel
         from ..kernels import get_kernel
+        from ..native import compile_native_kernel
         from ..openmp.schedule import ScheduleKind
 
-        spec = ScheduleSpec.parse(schedule)
+        raw_spec = ScheduleSpec.parse(schedule)
+        spec = raw_spec
         if spec.kind is ScheduleKind.ADAPTIVE:
             spec = ScheduleSpec.parse("static")
         if isinstance(source, LoopNest):
-            return self._run_native_nest(source, parameter_values, data, spec, threads)
+            key = _profile_key_or_none(source, parameter_values, raw_spec)
+            result = self._run_native_nest(source, parameter_values, data, spec, threads)
+            self._bank(key, result)
+            return result
         kernel = get_kernel(source) if isinstance(source, str) else source
         if not isinstance(kernel, Kernel):
             raise PlanError(
                 f"the native backend runs registered kernels and parsed nests, not "
                 f"{type(source).__name__}; use backend='engine' for Python-only sources"
             )
+        if not kernel.supports_native:
+            raise ValueError(f"kernel {kernel.name!r} has no native C body")
         # compiled modules are memoised process-wide (repro.native.module)
         # and on disk by source hash, so repeated session calls recompile
-        # nothing; the execution itself is the one shared implementation
-        return run_collapsed_native(
-            kernel,
-            parameter_values,
-            data=data,
-            schedule=spec,
-            threads=threads or self.engine.workers,
+        # nothing; the module is run here (not via run_collapsed_native)
+        # because the NativeRunResult carries the timings the store banks
+        data = (
+            {name: np.copy(value) for name, value in data.items()}
+            if data is not None
+            else kernel.make_data(parameter_values)
         )
+        module = compile_native_kernel(kernel, schedule=spec)
+        result = module.run(data, parameter_values, threads=threads or self.engine.workers)
+        self._bank(_profile_key_or_none(kernel, parameter_values, raw_spec), result)
+        return data
 
     def _run_native_nest(self, nest, parameter_values, data, spec, threads):
         """Whole-range native execution of an ad-hoc parsed nest.
@@ -371,6 +599,7 @@ class RuntimeSession:
             buffers.close()
         self._buffers.clear()
         self._plans.clear()
+        self._auto_memo.clear()
 
     def __enter__(self) -> "RuntimeSession":
         return self
@@ -434,7 +663,12 @@ def collapse_and_run(
       no C compiler is found);
     * ``"native"`` — one whole-range call into the compiled C/OpenMP
       ``repro_run`` (raises :class:`~repro.native.NativeUnavailable`
-      without a compiler).
+      without a compiler);
+    * ``"auto"`` — profile-guided choice among the above: every run banks
+      its timings in the persistent profile store
+      (``$REPRO_PROFILE_DIR``, default ``~/.cache/repro-profile``), and
+      ``auto`` explores each viable substrate once, then runs the
+      measured-fastest (see docs/runtime.md, "Online autotuning").
 
     Compiled shared objects are cached on disk under
     ``$REPRO_NATIVE_CACHE`` (default ``~/.cache/repro-native``) and the

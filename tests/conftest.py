@@ -7,6 +7,23 @@ import pytest
 
 
 # ---------------------------------------------------------------------- #
+# profile-store isolation
+# ---------------------------------------------------------------------- #
+@pytest.fixture(autouse=True)
+def _isolated_profile_store(tmp_path, monkeypatch):
+    """Point ``$REPRO_PROFILE_DIR`` at a per-test directory.
+
+    Every session run banks timings in the persistent profile store, and
+    ``backend="auto"``/adaptive re-cutting *read* it — a store shared with
+    the developer's ``~/.cache/repro-profile`` (or between two tests) would
+    make test outcomes depend on what happened to run before.  Tests that
+    exercise store persistence across runs simply reuse the fixture's
+    directory within their test.
+    """
+    monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "profile-store"))
+
+
+# ---------------------------------------------------------------------- #
 # shared exact-recovery cross-validation helper
 # ---------------------------------------------------------------------- #
 def _exact_reference_unrank(collapsed, pc, parameter_values):

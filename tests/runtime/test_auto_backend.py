@@ -1,0 +1,222 @@
+"""``backend="auto"``: viability, explore/exploit, and end-to-end correctness.
+
+The resolver's decision is pure given (source, machine, store), so the
+unit tests pin it against crafted stores and patched machine facts
+(``os.cpu_count``, compiler presence); the integration tests then run the
+real session end-to-end and assert the differential guarantee — whatever
+substrate auto picks, the numbers match ``run_original``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel, run_collapsed_auto, run_original, verify_kernel
+from repro.native import native_available
+from repro.runtime import (
+    ProfileStore,
+    RuntimeSession,
+    default_profile_store,
+    profile_key,
+    resolve_auto_backend,
+)
+from repro.runtime.session import AUTO_REVALIDATE_EVERY
+
+needs_compiler = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on this machine"
+)
+
+PARAMS = {"N": 16}
+
+
+def _patch_cpus(monkeypatch, count):
+    monkeypatch.setattr("repro.runtime.session.os.cpu_count", lambda: count)
+
+
+def _no_compiler(monkeypatch):
+    monkeypatch.setattr("repro.native.native_available", lambda: False)
+
+
+# ---------------------------------------------------------------------- #
+# viability
+# ---------------------------------------------------------------------- #
+class TestViability:
+    @needs_compiler
+    def test_cold_store_many_cpus_explores_hybrid_first(self, monkeypatch, tmp_path):
+        _patch_cpus(monkeypatch, 8)
+        choice = resolve_auto_backend("utma", PARAMS, store=ProfileStore(tmp_path))
+        assert choice == "hybrid"
+
+    @needs_compiler
+    def test_two_cpus_pin_native_over_hybrid(self, monkeypatch, tmp_path):
+        _patch_cpus(monkeypatch, 2)
+        store = ProfileStore(tmp_path)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "native"
+        # even a glowing hybrid measurement cannot resurrect it at <= 2 CPUs
+        key = profile_key("utma", PARAMS)
+        store.record(key, "hybrid", elapsed_seconds=1e-6, workers=2,
+                     total_iterations=10)
+        store.record(key, "native", elapsed_seconds=1.0, workers=2,
+                     total_iterations=10)
+        store.record(key, "engine", elapsed_seconds=2.0, workers=2,
+                     total_iterations=10)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "native"
+
+    def test_no_compiler_degrades_to_engine(self, monkeypatch, tmp_path):
+        _no_compiler(monkeypatch)
+        choice = resolve_auto_backend("utma", PARAMS, store=ProfileStore(tmp_path))
+        assert choice == "engine"
+
+    @needs_compiler
+    def test_allow_native_false_drops_the_whole_range_call(self, monkeypatch, tmp_path):
+        _patch_cpus(monkeypatch, 8)
+        store = ProfileStore(tmp_path)
+        key = profile_key("utma", PARAMS)
+        store.record(key, "native", elapsed_seconds=1e-6, workers=2,
+                     total_iterations=10)
+        store.record(key, "hybrid", elapsed_seconds=1.0, workers=2,
+                     total_iterations=10)
+        store.record(key, "engine", elapsed_seconds=2.0, workers=2,
+                     total_iterations=10)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "native"
+        assert (
+            resolve_auto_backend("utma", PARAMS, store=store, allow_native=False)
+            == "hybrid"
+        )
+
+    def test_unviable_source_returns_engine(self, tmp_path):
+        # not a kernel, nest or collapsed loop: nothing can run it, so the
+        # resolver hands back the engine and lets *its* error surface
+        assert resolve_auto_backend(object(), PARAMS, store=ProfileStore(tmp_path)) == "engine"
+
+
+# ---------------------------------------------------------------------- #
+# explore then exploit
+# ---------------------------------------------------------------------- #
+@needs_compiler
+class TestExploreExploit:
+    def test_each_untimed_candidate_is_explored_before_exploiting(
+        self, monkeypatch, tmp_path
+    ):
+        _patch_cpus(monkeypatch, 8)
+        store = ProfileStore(tmp_path)
+        key = profile_key("utma", PARAMS)
+        # hybrid measured -> next unexplored in heuristic order is native
+        store.record(key, "hybrid", elapsed_seconds=1e-6, workers=2,
+                     total_iterations=10)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "native"
+        store.record(key, "native", elapsed_seconds=1e-6, workers=2,
+                     total_iterations=10)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "engine"
+
+    def test_warm_store_exploits_the_measured_fastest(self, monkeypatch, tmp_path):
+        _patch_cpus(monkeypatch, 8)
+        store = ProfileStore(tmp_path)
+        key = profile_key("utma", PARAMS)
+        store.record(key, "hybrid", elapsed_seconds=0.5, workers=2,
+                     total_iterations=10)
+        store.record(key, "native", elapsed_seconds=0.3, workers=2,
+                     total_iterations=10)
+        store.record(key, "engine", elapsed_seconds=0.1, workers=2,
+                     total_iterations=10)
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "engine"
+
+    def test_schedule_and_parameters_isolate_the_decision(self, monkeypatch, tmp_path):
+        _patch_cpus(monkeypatch, 8)
+        store = ProfileStore(tmp_path)
+        key = profile_key("utma", PARAMS)
+        for backend, elapsed in (("hybrid", 0.5), ("native", 0.3), ("engine", 0.1)):
+            store.record(key, backend, elapsed_seconds=elapsed, workers=2,
+                         total_iterations=10)
+        # warm under (utma, N=16, adaptive); cold under anything else
+        assert resolve_auto_backend("utma", PARAMS, store=store) == "engine"
+        assert resolve_auto_backend("utma", {"N": 17}, store=store) == "hybrid"
+        assert (
+            resolve_auto_backend("utma", PARAMS, schedule="dynamic,4", store=store)
+            == "hybrid"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# end to end
+# ---------------------------------------------------------------------- #
+class TestSessionAuto:
+    def test_auto_run_matches_run_original(self):
+        kernel = get_kernel("utma")
+        expected = run_original(kernel, PARAMS)
+        with RuntimeSession(workers=2) as session:
+            result = session.run(kernel, PARAMS, backend="auto")
+            assert np.allclose(result["c"], expected["c"], atol=1e-9)
+
+    def test_auto_runs_bank_profiles_under_the_plan_key(self):
+        with RuntimeSession(workers=2) as session:
+            session.run("utma", PARAMS, backend="auto")
+        profiles = default_profile_store().load(profile_key("utma", PARAMS))
+        assert profiles  # the run was measured and persisted
+        for name, profile in profiles.items():
+            assert profile.backend == name
+            assert profile.runs >= 1
+            assert profile.median_elapsed is not None
+
+    def test_repeated_auto_runs_converge_and_stay_correct(self):
+        kernel = get_kernel("utma")
+        expected = run_original(kernel, PARAMS)
+        with RuntimeSession(workers=2) as session:
+            for _ in range(4):
+                result = session.run(kernel, PARAMS, backend="auto")
+                assert np.allclose(result["c"], expected["c"], atol=1e-9)
+            resolved = resolve_auto_backend(kernel, PARAMS)
+            assert resolved in ("engine", "native", "hybrid")
+
+    def test_settled_resolution_is_memoised_for_a_bounded_window(self, monkeypatch):
+        # a single viable candidate settles immediately, no timings needed
+        _no_compiler(monkeypatch)
+        with RuntimeSession(workers=2) as session:
+            session.run("utma", PARAMS, backend="auto")
+            assert len(session._auto_memo) == 1
+            ((backend, uses),) = session._auto_memo.values()
+            assert backend == "engine"
+            assert 0 < uses <= AUTO_REVALIDATE_EVERY
+            session.run("utma", PARAMS, backend="auto")
+            ((_, fewer_uses),) = session._auto_memo.values()
+            assert fewer_uses == uses - 1  # the cached choice spent one use
+            session.close()
+            assert session._auto_memo == {}
+
+    @needs_compiler
+    def test_threads_option_short_circuits_to_native(self):
+        kernel = get_kernel("utma")
+        expected = run_original(kernel, PARAMS)
+        with RuntimeSession(workers=2) as session:
+            result = session.run(kernel, PARAMS, backend="auto", threads=1)
+            assert np.allclose(result["c"], expected["c"], atol=1e-9)
+        # a native run was banked for this key
+        profiles = default_profile_store().load(profile_key("utma", PARAMS))
+        assert "native" in profiles
+
+    def test_engine_only_options_still_run_under_auto(self):
+        # depth/recovery are engine-only: auto must not route them natively
+        kernel = get_kernel("utma")
+        expected = run_original(kernel, PARAMS)
+        with RuntimeSession(workers=2) as session:
+            result = session.run(
+                kernel, PARAMS, backend="auto", depth=2, recovery="symbolic"
+            )
+            assert np.allclose(result["c"], expected["c"], atol=1e-9)
+
+
+class TestKernelLayerAuto:
+    def test_verify_kernel_accepts_auto(self):
+        assert verify_kernel(get_kernel("utma"), {"N": 12}, backend="auto")
+
+    def test_verify_kernel_auto_agrees_with_every_static_backend(self):
+        backends = ["python", "engine", "auto"]
+        if native_available():
+            backends += ["native", "hybrid"]
+        for backend in backends:
+            assert verify_kernel(get_kernel("utma"), {"N": 12}, backend=backend), backend
+
+    def test_run_collapsed_auto_matches_original(self):
+        kernel = get_kernel("utma")
+        expected = run_original(kernel, PARAMS)
+        result = run_collapsed_auto(kernel, PARAMS, workers=2)
+        assert np.allclose(result["c"], expected["c"], atol=1e-9)

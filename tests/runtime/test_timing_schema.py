@@ -1,0 +1,122 @@
+"""Cross-backend timing schema: one contract for every run result.
+
+The profile store can only compare backends because they all report their
+measurements the same way.  This module asserts that contract (documented
+on :class:`~repro.runtime.engine.EngineRunResult`) on real runs of every
+substrate:
+
+* ``chunks`` / ``results`` / ``assignments`` / ``chunk_seconds`` are
+  index-aligned, one entry per executed unit of work;
+* every chunk time is non-negative wall-clock seconds measured *inside*
+  the executing substrate, and never exceeds the parent's whole-run span
+  by more than scheduling overlap can explain;
+* ``elapsed_seconds`` is the parent-side span — positive, and (for serial
+  execution) at least the largest chunk time;
+* ``chunk_records()`` renders the same rows on every backend, ready for
+  :meth:`ProfileStore.record`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import get_kernel, run_original
+from repro.native import native_available
+from repro.runtime import RuntimeSession
+from repro.runtime.engine import EngineRunResult
+from repro.runtime.profile import ChunkProfile
+
+needs_compiler = pytest.mark.skipif(
+    not native_available(), reason="no C compiler on this machine"
+)
+
+PARAMS = {"N": 24}
+
+
+@pytest.fixture(scope="module")
+def session():
+    with RuntimeSession(workers=2) as session:
+        yield session
+
+
+def _run(session, backend):
+    kernel = get_kernel("utma")
+    expected = run_original(kernel, PARAMS)
+    if backend == "native":
+        from repro.native import compile_native_kernel
+
+        module = compile_native_kernel(kernel, schedule="static")
+        data = kernel.make_data(PARAMS)
+        result = module.run(data, PARAMS, threads=2)
+    else:
+        from repro.runtime.shm import SharedBuffers
+
+        plan = session.plan_for(
+            kernel, PARAMS, schedule="adaptive", native=(backend == "hybrid")
+        )
+        with SharedBuffers.create(kernel.make_data(PARAMS)) as buffers:
+            result = session.execute(plan, buffers=buffers)
+            data = {name: np.array(array) for name, array in buffers.arrays.items()}
+    assert np.allclose(data["c"], expected["c"], atol=1e-9)
+    return result
+
+
+def _assert_schema(result, backend, total):
+    __tracebackhide__ = True
+    assert isinstance(result, EngineRunResult)
+    assert result.backend == backend
+    assert result.iterations == total
+    count = len(result.chunks)
+    assert count >= 1
+    assert len(result.results) == count
+    assert len(result.assignments) == count
+    assert len(result.chunk_seconds) == count
+    assert all(seconds >= 0.0 for seconds in result.chunk_seconds)
+    assert result.elapsed_seconds > 0.0
+    assert result.workers >= 1
+    # substrate-internal chunk times exclude dispatch, so no single chunk
+    # can take longer than `workers` overlapping wall-clock spans allow
+    assert max(result.chunk_seconds) <= result.elapsed_seconds * result.workers + 0.25
+    records = result.chunk_records()
+    assert len(records) == count
+    for chunk, record in zip(result.chunks, records):
+        assert isinstance(record, ChunkProfile)
+        assert (record.first_pc, record.last_pc) == (chunk.first, chunk.last)
+        assert record.seconds >= 0.0
+
+
+class TestTimingSchemaPerBackend:
+    def _total(self):
+        kernel = get_kernel("utma")
+        return kernel.collapsed().total_iterations(PARAMS)
+
+    def test_engine_backend(self, session):
+        result = _run(session, "engine")
+        _assert_schema(result, "engine", self._total())
+        assert all(0 <= worker < session.engine.workers for worker in result.assignments)
+
+    @needs_compiler
+    def test_hybrid_backend(self, session):
+        result = _run(session, "hybrid")
+        _assert_schema(result, "hybrid", self._total())
+
+    @needs_compiler
+    def test_native_backend(self, session):
+        result = _run(session, "native")
+        _assert_schema(result, "native", self._total())
+
+    @needs_compiler
+    def test_rows_comparable_across_backends(self, session):
+        """The point of the unification: one schema, any substrate.
+
+        Records from different backends of the same kernel cover the same
+        ``pc`` range and can be merged into one store entry.
+        """
+        total = self._total()
+        by_backend = {b: _run(session, b) for b in ("engine", "hybrid", "native")}
+        for backend, result in by_backend.items():
+            records = result.chunk_records()
+            assert min(r.first_pc for r in records) == 1, backend
+            assert max(r.last_pc for r in records) == total, backend
+        # engine and hybrid chunk the same plan: spans partition the range
+        for backend in ("engine", "hybrid"):
+            assert sum(r.size for r in by_backend[backend].chunk_records()) == total
