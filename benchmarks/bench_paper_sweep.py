@@ -1,0 +1,126 @@
+"""The full-paper conformance sweep: every kernel × schedule × backend.
+
+Where the other benchmarks each reproduce one figure, this one runs the
+paper's whole experimental matrix as a single differential harness
+(:mod:`repro.analysis.sweep`): every executable kernel plus a skewed and a
+tiled transformed nest, under ``static``/``dynamic``/``adaptive``
+schedules, on every viable substrate (serial compiled, engine, native,
+hybrid, auto) and — for the compiled substrates — under every supported
+extra-compiler-flags set (``-march=native`` when the compiler accepts it).
+
+Every cell is compared element-wise against the original-order run and
+every scenario's recovered ranks are cross-checked scalar vs batch vs
+compiled C.  The asserted gate is the conformance claim itself: **zero
+mismatches anywhere in the matrix**.  Timings and Section VII gains land
+in ``REPORT_sweep.json`` (sorted keys) with a markdown rendering in
+``REPORT_sweep.md``.
+
+Environment knobs for CI smoke runs:
+
+* ``BENCH_SWEEP_MAX_N`` — extent clamp for every scenario (default 48);
+* ``BENCH_SWEEP_WORKERS`` — engine worker count (default 2, the paper
+  sweep is sized for a 2-CPU runner);
+* ``BENCH_SWEEP_REPEATS`` — timed runs per cell, fastest kept (default 2
+  so one-off native compilations don't pollute the timings);
+* ``BENCH_SWEEP_SCHEDULES`` / ``BENCH_SWEEP_BACKENDS`` — comma-separated
+  subsets of the axes;
+* ``BENCH_SWEEP_JSON`` / ``BENCH_SWEEP_MD`` — report paths.
+
+The module needs no compiler: native/hybrid cells and the extra flag sets
+degrade to skips where ``native_available()`` is false, and the
+differential gate covers whatever remains viable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import (
+    BACKENDS,
+    DEFAULT_SCHEDULES,
+    default_flag_sets,
+    default_scenarios,
+    run_sweep,
+)
+from repro.native import native_available
+
+MAX_N = int(os.environ.get("BENCH_SWEEP_MAX_N", "48"))
+WORKERS = int(os.environ.get("BENCH_SWEEP_WORKERS", "2"))
+REPEATS = int(os.environ.get("BENCH_SWEEP_REPEATS", "2"))
+SCHEDULES = tuple(
+    s for s in os.environ.get("BENCH_SWEEP_SCHEDULES", ",".join(DEFAULT_SCHEDULES)).split(",") if s
+)
+SWEEP_BACKENDS = tuple(
+    s for s in os.environ.get("BENCH_SWEEP_BACKENDS", ",".join(BACKENDS)).split(",") if s
+)
+JSON_PATH = Path(os.environ.get("BENCH_SWEEP_JSON", "REPORT_sweep.json"))
+MD_PATH = Path(os.environ.get("BENCH_SWEEP_MD", "REPORT_sweep.md"))
+
+
+@pytest.fixture(scope="module")
+def sweep_report():
+    """One full sweep, shared by every gate below; reports always written."""
+    report = run_sweep(
+        scenarios=default_scenarios(MAX_N),
+        schedules=SCHEDULES,
+        backends=SWEEP_BACKENDS,
+        workers=WORKERS,
+        repeats=REPEATS,
+    )
+    report.write(JSON_PATH, MD_PATH)
+    print()
+    print(report.table())
+    print(f"report: {JSON_PATH} / {MD_PATH}")
+    return report
+
+
+def test_sweep_zero_mismatches(sweep_report):
+    """The conformance claim: no cell disagrees with the original order."""
+    assert sweep_report.mismatches == [], sweep_report.mismatches
+    assert sweep_report.ok
+
+
+def test_sweep_rank_conformance(sweep_report):
+    """Scalar, batch and (where compiled) native rank recovery all agree."""
+    failures = [check for check in sweep_report.rank_checks if not check["ok"]]
+    assert failures == []
+    assert len(sweep_report.rank_checks) == len(sweep_report.config["scenarios"])
+
+
+def test_sweep_covers_the_paper_matrix(sweep_report):
+    """Every scenario ran on every schedule for every viable backend."""
+    cells = sweep_report.cells
+    scenario_names = {s["name"] for s in sweep_report.config["scenarios"]}
+    for name in scenario_names:
+        for schedule in SCHEDULES:
+            ran = {c["backend"] for c in cells if c["scenario"] == name and c["schedule"] == schedule}
+            expected = set(SWEEP_BACKENDS)
+            if not native_available():
+                expected -= {"native", "hybrid"}
+            assert ran == expected, f"{name}/{schedule}: ran {ran}, expected {expected}"
+    # the acceptance criterion calls out the transformed nests explicitly
+    kinds = {c["kind"] for c in cells}
+    assert {"kernel", "skewed", "tiled"} <= kinds
+
+
+@pytest.mark.skipif(not native_available(), reason="no C compiler on this machine")
+def test_sweep_exercises_the_flags_axis(sweep_report):
+    """Native/hybrid cells ran under every supported extra-flags set."""
+    flag_labels = set(default_flag_sets())
+    for backend in ("native", "hybrid"):
+        if backend not in SWEEP_BACKENDS:
+            pytest.skip(f"{backend} excluded via BENCH_SWEEP_BACKENDS")
+        ran = {c["flags"] for c in sweep_report.cells if c["backend"] == backend}
+        assert ran == flag_labels
+
+
+def test_sweep_report_carries_timings_and_gains(sweep_report):
+    """Every cell has wall-clock seconds; non-baseline cells have gains."""
+    has_baseline = "compiled" in SWEEP_BACKENDS and "static" in SCHEDULES
+    for cell in sweep_report.cells:
+        assert cell["seconds"] > 0.0
+        if has_baseline:
+            assert cell["gain_vs_serial"] is not None

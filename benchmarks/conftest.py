@@ -11,6 +11,8 @@ harness completes in a couple of minutes; pass ``--paper-scale`` to use the
 larger ``default_parameters`` instead.
 """
 
+import os
+
 import pytest
 
 #: thread count of the paper's test machine (12-core AMD Opteron 6172)
@@ -24,6 +26,29 @@ def pytest_addoption(parser):
         default=False,
         help="run the benchmarks at the larger default_parameters sizes",
     )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_profile_store(tmp_path_factory):
+    """Point ``$REPRO_PROFILE_DIR`` at a per-run directory.
+
+    The same hygiene tests/conftest.py applies per test, at session scope:
+    benchmark runs must neither read the developer's
+    ``~/.cache/repro-profile`` (a warm store changes what ``auto`` and
+    adaptive re-cutting do, i.e. what gets *measured*) nor pollute it with
+    smoke-sized timings.  Session scope — rather than per test — keeps the
+    within-run warm-up that bench_autotune and the sweep's ``auto`` cells
+    deliberately exercise.
+    """
+    previous = os.environ.get("REPRO_PROFILE_DIR")
+    os.environ["REPRO_PROFILE_DIR"] = str(tmp_path_factory.mktemp("profile-store"))
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_PROFILE_DIR", None)
+        else:
+            os.environ["REPRO_PROFILE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -1,4 +1,4 @@
-"""Plain-text table rendering for the benchmark harness output."""
+"""Table rendering (plain text and markdown) for the harness output."""
 
 from __future__ import annotations
 
@@ -29,5 +29,35 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: s
         lines.append(title)
     lines.append(render(headers))
     lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Render a GitHub-flavoured markdown table (used by ``REPORT_*.md`` files).
+
+    Same row contract as :func:`format_table`; cells are padded so the raw
+    text stays column-aligned and diffable.
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not have {columns} columns")
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def render(cells: Sequence[str]) -> str:
+        body = " | ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+        return f"| {body} |"
+
+    lines: List[str] = []
+    if title:
+        lines.extend((f"## {title}", ""))
+    lines.append(render(headers))
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
     lines.extend(render(row) for row in rows)
     return "\n".join(lines)

@@ -116,6 +116,7 @@ def run_collapsed_native(
     data: Optional[DataDict] = None,
     schedule: object = "static",
     threads: Optional[int] = None,
+    compile_flags: Sequence[str] = (),
 ) -> DataDict:
     """Run the kernel's collapsed loop through the compiled native backend.
 
@@ -126,7 +127,9 @@ def run_collapsed_native(
     a private copy of the data.  The engine-only ``"adaptive"`` policy has
     no OpenMP spelling and normalises to ``static``
     (:func:`repro.native.compile_native_kernel` does it, so every
-    kernel-compiling path agrees).  Raises
+    kernel-compiling path agrees).  ``compile_flags`` append to the
+    compiler command line (and to both compilation cache keys) — the
+    conformance sweep's compiler-flags axis.  Raises
     :class:`repro.native.NativeUnavailable` on machines without a C
     compiler; callers wanting a soft feature test use
     :func:`repro.native.native_available`.
@@ -136,7 +139,7 @@ def run_collapsed_native(
     if not kernel.supports_native:
         raise ValueError(f"kernel {kernel.name!r} has no native C body")
     data = _clone_data(data) if data is not None else kernel.make_data(parameter_values)
-    module = compile_native_kernel(kernel, schedule=schedule)
+    module = compile_native_kernel(kernel, schedule=schedule, extra_flags=compile_flags)
     module.run(data, parameter_values, threads=threads)
     return data
 

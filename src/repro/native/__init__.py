@@ -28,7 +28,9 @@ from .compiler import (
     cache_dir,
     clear_native_cache,
     compile_shared_library,
+    extra_compile_flags,
     find_compiler,
+    flags_supported,
     native_available,
     openmp_flags,
 )
@@ -49,7 +51,9 @@ __all__ = [
     "cache_dir",
     "clear_native_cache",
     "compile_shared_library",
+    "extra_compile_flags",
     "find_compiler",
+    "flags_supported",
     "native_available",
     "openmp_flags",
     "NativeChunkRunner",

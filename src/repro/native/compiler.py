@@ -5,10 +5,20 @@ then ``cc``/``gcc``/``clang`` on ``PATH``), probe once whether it accepts
 ``-fopenmp``, and turn generated translation units into ``ctypes``-loadable
 shared libraries with ``cc -O2 -fPIC -shared [-fopenmp] ... -lm``.
 
+Beyond the fixed :data:`BASE_FLAGS`, callers can append *extra* flags per
+compilation (``compile_shared_library(..., extra_flags=("-march=native",))``
+— the conformance sweep's compiler-flags axis) and users can append
+process-wide flags through ``$REPRO_NATIVE_FLAGS`` (whitespace-separated;
+applied after the per-call flags so the environment wins).  Aggressive
+value-changing flags like ``-ffast-math`` are never added implicitly — the
+differential gates compare native output against the Python baselines, so
+the default build must honour IEEE semantics.
+
 Compilation results are cached on disk, keyed by the SHA-256 of the source
-*and* of the exact compiler command line: the ``<digest>.c`` /
-``<digest>.so`` pair lives in ``$REPRO_NATIVE_CACHE`` (default
-``~/.cache/repro-native``), so an identical nest re-collapsed in a fresh
+*and* of the exact compiler command line — **including every extra flag**,
+so changing flags can never serve a stale shared object: the ``<digest>.c``
+/ ``<digest>.so`` pair lives in ``$REPRO_NATIVE_CACHE`` (default
+``~/.cache/repro-native``), and an identical nest re-collapsed in a fresh
 process loads the library without invoking the compiler at all.  Everything
 degrades cleanly: machines without any compiler raise
 :class:`NativeUnavailable`, which the execution layers and the test suite
@@ -24,7 +34,7 @@ import subprocess
 import tempfile
 from functools import lru_cache
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 #: compilers probed, in order, when ``$CC`` is not set
 _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
@@ -84,6 +94,34 @@ def native_available() -> bool:
     return find_compiler() is not None
 
 
+def extra_compile_flags() -> Tuple[str, ...]:
+    """Process-wide extra flags from ``$REPRO_NATIVE_FLAGS`` (whitespace-split).
+
+    Applied after any per-call ``extra_flags``, so the environment can
+    override a harness's choice.  Like every flag, they are part of the
+    cache digest: flipping the variable recompiles instead of serving a
+    stale shared object.
+    """
+    raw = os.environ.get("REPRO_NATIVE_FLAGS", "").strip()
+    return tuple(raw.split()) if raw else ()
+
+
+def flags_supported(extra_flags: Sequence[str]) -> bool:
+    """True when the compiler accepts ``extra_flags`` on a trivial unit.
+
+    The conformance sweep probes optional axis values (``-march=native``)
+    with this before enumerating cells, so an older compiler shrinks the
+    axis instead of failing the sweep.  The probe object lands in the
+    normal on-disk cache, making repeated probes free.
+    """
+    probe = "double repro_flags_probe(void) { return 1.0; }\n"
+    try:
+        compile_shared_library(probe, tag="flagprobe", extra_flags=tuple(extra_flags))
+    except NativeUnavailable:
+        return False
+    return True
+
+
 def cache_dir() -> Path:
     """The on-disk compilation cache (``$REPRO_NATIVE_CACHE`` overrides)."""
     override = os.environ.get("REPRO_NATIVE_CACHE", "").strip()
@@ -98,13 +136,18 @@ def source_digest(source: str, command_tail: Tuple[str, ...]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def compile_shared_library(source: str, tag: str = "collapsed") -> Path:
+def compile_shared_library(
+    source: str, tag: str = "collapsed", extra_flags: Sequence[str] = ()
+) -> Path:
     """Compile a translation unit to a cached shared library; return its path.
 
-    A cache hit (same source, same compiler, same flags) returns the
-    existing ``.so`` without running the compiler.  Raises
-    :class:`NativeUnavailable` when no compiler is found or the compilation
-    fails (with the compiler's stderr in the message).
+    A cache hit (same source, same compiler, same flags — ``extra_flags``
+    and ``$REPRO_NATIVE_FLAGS`` included) returns the existing ``.so``
+    without running the compiler; any flag change produces a different
+    digest and therefore a fresh compilation (pinned by
+    ``tests/native/test_compiler.py``).  Raises :class:`NativeUnavailable`
+    when no compiler is found or the compilation fails (with the compiler's
+    stderr in the message).
     """
     compiler = find_compiler()
     if compiler is None:
@@ -112,7 +155,9 @@ def compile_shared_library(source: str, tag: str = "collapsed") -> Path:
             "no C compiler found (tried $CC, cc, gcc, clang); install one or use "
             "the Python engine backend"
         )
-    flags = BASE_FLAGS + openmp_flags(compiler)
+    flags = (
+        BASE_FLAGS + openmp_flags(compiler) + tuple(extra_flags) + extra_compile_flags()
+    )
     digest = source_digest(source, (compiler,) + flags)
     directory = cache_dir()
     library = directory / f"{tag}-{digest[:16]}.so"

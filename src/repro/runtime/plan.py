@@ -249,7 +249,7 @@ class ExecutionPlan:
         }
 
 
-def _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims):
+def _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims, compile_flags=()):
     """Compile the plan's translation unit in the parent; return its spec.
 
     The C body comes from (in order) the caller's explicit ``c_body``, a
@@ -291,7 +291,8 @@ def _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims):
             "the nest from array-assignment statements)"
         )
     module = compile_collapsed(
-        collapsed, body=body, arrays=arrays, schedule="static", array_ndims=array_ndims
+        collapsed, body=body, arrays=arrays, schedule="static", array_ndims=array_ndims,
+        extra_flags=tuple(compile_flags),
     )
     return module.library_spec()
 
@@ -309,6 +310,7 @@ def build_plan(
     c_body: Optional[str] = None,
     c_arrays: Sequence[str] = (),
     array_ndims: Optional[Mapping[str, int]] = None,
+    compile_flags: Sequence[str] = (),
 ) -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` from a kernel, nest or collapsed loop.
 
@@ -325,8 +327,10 @@ def build_plan(
     attaches its :class:`~repro.native.NativeLibrarySpec` to the plan:
     engine workers then load the cached shared object by path and execute
     their chunks through the serial ``repro_run_range`` at C speed — the
-    hybrid backend.  Raises :class:`~repro.native.NativeUnavailable` where
-    no C compiler exists.
+    hybrid backend.  ``compile_flags`` are appended to the compiler command
+    line of that translation unit (and to its cache keys) — the sweep's
+    compiler-flags axis.  Raises :class:`~repro.native.NativeUnavailable`
+    where no C compiler exists.
     """
     from ..kernels import Kernel, get_kernel  # deferred: kernels import runtime helpers
 
@@ -354,9 +358,13 @@ def build_plan(
 
     native_spec = None
     if native:
-        native_spec = _native_spec_for(source, collapsed, c_body, c_arrays, array_ndims)
-    elif c_body is not None or c_arrays:
-        raise PlanError("c_body/c_arrays are native-plan options; pass native=True")
+        native_spec = _native_spec_for(
+            source, collapsed, c_body, c_arrays, array_ndims, compile_flags
+        )
+    elif c_body is not None or c_arrays or compile_flags:
+        raise PlanError(
+            "c_body/c_arrays/compile_flags are native-plan options; pass native=True"
+        )
 
     if kernel_name is None and iteration_op is None and chunk_op is None and native_spec is None:
         raise PlanError("a plan needs a kernel or at least one of iteration_op/chunk_op")

@@ -325,6 +325,7 @@ class RuntimeSession:
         """
         from ..kernels import get_kernel
 
+        auto_requested = backend == "auto"
         if backend == "auto":
             if threads is not None:
                 # threads is a native-only option: a caller pinning the
@@ -406,7 +407,7 @@ class RuntimeSession:
                 # Native-only options must not reach the engine plan.
                 engine_kwargs = {
                     name: value for name, value in plan_kwargs.items()
-                    if name not in ("c_body", "c_arrays", "array_ndims")
+                    if name not in ("c_body", "c_arrays", "array_ndims", "compile_flags")
                 }
                 try:
                     plan = self.plan_for(
@@ -419,6 +420,16 @@ class RuntimeSession:
                     # so that is the error the caller must see
                     raise unavailable from None
         else:
+            if auto_requested:
+                # an auto resolution landing on the engine must not forward
+                # native-only options an ad-hoc nest carried for the hybrid
+                # candidate (c_body etc. would be a PlanError on an engine
+                # plan); an *explicitly* requested engine backend still
+                # rejects them — that is a caller mistake, not a degradation
+                plan_kwargs = {
+                    name: value for name, value in plan_kwargs.items()
+                    if name not in ("c_body", "c_arrays", "array_ndims", "compile_flags")
+                }
             plan = self.plan_for(source, parameter_values, schedule, depth, recovery, **plan_kwargs)
         kernel = None
         if plan.kernel_name is not None:

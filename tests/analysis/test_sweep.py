@@ -1,0 +1,210 @@
+"""The conformance-sweep harness itself: scenarios, cells, gate, report.
+
+The full matrix runs in ``benchmarks/bench_paper_sweep.py``; these tests
+pin the *harness* semantics on a reduced matrix — scenario enumeration,
+differential comparison (including that a wrong substrate is *caught*),
+rank cross-checking, skip-vs-fail viability, and the report schema that
+``REPORT_sweep.json``/``REPORT_sweep.md`` commit to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import (
+    BACKENDS,
+    DEFAULT_SCHEDULES,
+    SweepScenario,
+    check_rank_conformance,
+    default_flag_sets,
+    default_scenarios,
+    kernel_scenarios,
+    run_sweep,
+    transformed_scenarios,
+)
+from repro.ir import Loop, LoopNest, iteration_count
+from repro.native import native_available
+
+
+class TestScenarioEnumeration:
+    def test_every_executable_kernel_is_a_scenario(self):
+        from repro.kernels import executable_kernels
+
+        names = {scenario.name for scenario in kernel_scenarios()}
+        assert names == {kernel.name for kernel in executable_kernels()}
+
+    def test_smoke_clamp_shrinks_extents_but_keeps_small_parameters(self):
+        by_name = {s.name: s for s in kernel_scenarios(max_extent=16)}
+        assert all(
+            value <= 16 for s in by_name.values() for value in s.parameter_values.values()
+        )
+        # small structural parameters (rank-K update depth) survive the clamp
+        assert by_name["cholesky_update"].parameter_values["K"] == 5
+
+    def test_default_scenarios_include_one_tiled_and_one_skewed_nest(self):
+        kinds = [scenario.kind for scenario in default_scenarios(max_extent=12)]
+        assert kinds.count("skewed") == 1
+        assert kinds.count("tiled") == 1
+        assert kinds.count("kernel") == len(kernel_scenarios())
+
+    def test_transformed_scenarios_are_executable_domains(self):
+        """The nests enumerate, collapse, and the grid covers every index."""
+        for scenario in transformed_scenarios(max_extent=12):
+            total = iteration_count(scenario.nest, scenario.parameter_values)
+            assert total > 0
+            assert scenario.collapsed().total_iterations(scenario.parameter_values) == total
+            reference = scenario.reference()  # raises IndexError if grid too small
+            assert reference["grid"].sum() == total
+
+    def test_flag_sets_always_contain_the_default_and_never_fast_math(self):
+        sets = default_flag_sets()
+        assert sets["default"] == ()
+        assert not any("-ffast-math" in flags for flags in sets.values())
+
+
+@pytest.fixture(scope="module")
+def mini_report():
+    """One reduced sweep shared by the gate/report tests below."""
+    scenarios = [
+        s for s in kernel_scenarios(max_extent=12) if s.name in ("utma", "ltmp")
+    ] + transformed_scenarios(max_extent=12)
+    return run_sweep(
+        scenarios=scenarios,
+        schedules=("static", "dynamic"),
+        backends=("compiled", "engine", "native", "auto"),
+        workers=2,
+        repeats=1,
+    )
+
+
+class TestDifferentialGate:
+    def test_mini_sweep_is_conformant(self, mini_report):
+        assert mini_report.ok
+        assert mini_report.mismatches == []
+
+    def test_every_cell_ran_against_the_original_order(self, mini_report):
+        expected_backends = {"compiled", "engine", "auto"}
+        if native_available():
+            expected_backends.add("native")
+        for scenario in ("utma", "ltmp", "skewed_rect", "tiled_triangle"):
+            for schedule in ("static", "dynamic"):
+                ran = {
+                    c["backend"]
+                    for c in mini_report.cells
+                    if c["scenario"] == scenario and c["schedule"] == schedule
+                }
+                assert ran == expected_backends, (scenario, schedule)
+
+    def test_auto_cells_record_their_resolved_substrate(self, mini_report):
+        auto_cells = [c for c in mini_report.cells if c["backend"] == "auto"]
+        assert auto_cells
+        assert all(
+            c["resolved_backend"] in ("engine", "native", "hybrid") for c in auto_cells
+        )
+
+    def test_rank_checks_cover_every_scenario(self, mini_report):
+        names = {check["scenario"] for check in mini_report.rank_checks}
+        assert names == {"utma", "ltmp", "skewed_rect", "tiled_triangle"}
+        assert all(check["ok"] for check in mini_report.rank_checks)
+
+    def test_timings_and_gains_are_populated(self, mini_report):
+        for cell in mini_report.cells:
+            assert cell["seconds"] > 0.0
+            assert cell["gain_vs_serial"] is not None  # static/compiled baseline ran
+
+    @pytest.mark.skipif(not native_available(), reason="no C compiler on this machine")
+    def test_a_lying_substrate_is_caught_not_raised(self):
+        """The whole point of the gate: a substrate computing something
+        different from the original order must surface as a recorded
+        mismatch (and flip ``report.ok``), never pass silently."""
+        scenario = transformed_scenarios(max_extent=8)[0]
+        lying = SweepScenario(
+            name="lying_rect",
+            kind=scenario.kind,
+            parameter_values=scenario.parameter_values,
+            nest=scenario.nest,
+            grid_shape=scenario.grid_shape,
+            c_body="grid(t, x) += 2.0;",  # native disagrees with the Python op
+        )
+        report = run_sweep(
+            scenarios=[lying], schedules=("static",), backends=("compiled", "native"),
+            workers=2, repeats=1, flag_sets={"default": ()},
+        )
+        assert not report.ok
+        assert [m["backend"] for m in report.mismatches] == ["native"]
+        assert report.mismatches[0]["array"] == "grid"
+        assert report.mismatches[0]["max_abs_diff"] == pytest.approx(1.0)
+
+    @pytest.mark.skipif(not native_available(), reason="no C compiler on this machine")
+    def test_a_crashing_substrate_is_a_recorded_failure(self):
+        """A cell whose backend raises is a conformance failure with the
+        error recorded — the sweep itself keeps going and the other
+        substrates still report."""
+        scenario = transformed_scenarios(max_extent=8)[0]
+        broken = SweepScenario(
+            name="broken_rect",
+            kind=scenario.kind,
+            parameter_values=scenario.parameter_values,
+            nest=scenario.nest,
+            grid_shape=scenario.grid_shape,
+            c_body="this is not C;",  # native cell fails to compile
+        )
+        report = run_sweep(
+            scenarios=[broken], schedules=("static",), backends=("compiled", "native"),
+            workers=2, repeats=1, flag_sets={"default": ()},
+        )
+        assert not report.ok
+        by_backend = {cell["backend"]: cell for cell in report.cells}
+        assert by_backend["compiled"]["ok"] is True
+        assert by_backend["native"]["ok"] is False
+        assert "NativeUnavailable" in by_backend["native"]["error"]
+
+
+class TestRankConformance:
+    def test_kernel_ranks_agree_across_recovery_substrates(self):
+        scenario = kernel_scenarios(max_extent=16)[0]
+        check = check_rank_conformance(scenario, default_flag_sets())
+        assert check["ok"]
+        assert "scalar" in check["backends"] and "batch" in check["backends"]
+        if native_available():
+            assert any(b.startswith("native[") for b in check["backends"])
+        assert check["probes"][0] == 1
+        assert check["probes"][-1] == check["total_iterations"]
+
+
+class TestReportSchema:
+    def test_json_report_is_sorted_and_round_trips(self, mini_report, tmp_path):
+        json_path = tmp_path / "REPORT_sweep.json"
+        md_path = tmp_path / "REPORT_sweep.md"
+        mini_report.write(json_path, md_path)
+
+        loaded = json.loads(json_path.read_text())
+        assert list(loaded) == sorted(loaded)  # top-level keys sorted
+        assert loaded["summary"]["ok"] is True
+        assert loaded["summary"]["cells"] == len(mini_report.cells)
+        assert {s["name"] for s in loaded["config"]["scenarios"]} == {
+            "utma", "ltmp", "skewed_rect", "tiled_triangle"
+        }
+        # byte-stable: re-serialising the loaded document reproduces the file
+        assert json.dumps(loaded, indent=2, sort_keys=True) + "\n" == json_path.read_text()
+
+    def test_markdown_report_carries_the_matrix(self, mini_report, tmp_path):
+        md_path = tmp_path / "REPORT_sweep.md"
+        mini_report.write(tmp_path / "r.json", md_path)
+        text = md_path.read_text()
+        assert "**PASS**" in text
+        assert "| scenario" in text
+        for name in ("utma", "ltmp", "skewed_rect", "tiled_triangle"):
+            assert name in text
+
+    def test_table_renders_without_mismatch_banner_when_clean(self, mini_report):
+        table = mini_report.table()
+        assert "zero mismatches" in table
+        assert "MISMATCH" not in table.replace("zero mismatches", "")
+
+    def test_axes_constants_cover_the_paper_matrix(self):
+        assert BACKENDS == ("compiled", "engine", "native", "hybrid", "auto")
+        assert DEFAULT_SCHEDULES == ("static", "dynamic", "adaptive")

@@ -301,6 +301,124 @@ def test_property_hybrid_matches_engine_and_native(case, schedule, runtime_engin
 
 
 # ---------------------------------------------------------------------- #
+# transformed nests (tiled / skewed) and the profile-guided auto backend
+# ---------------------------------------------------------------------- #
+@st.composite
+def transformed_nests(draw):
+    """Random *transformed* nests: a skewed rectangle or the tile loops of a
+    tiled triangle — the domains the paper's Pluto-generated inputs have
+    after classic transformations, which the pipeline must handle exactly
+    like hand-written nests.
+
+    Returns ``(nest, values, grid_shape, c_body)`` — the grid is sized per
+    case (skewing slides the inner extent by ``factor * (T - 1)``).
+    """
+    from repro.transforms import skew, tile_triangular
+
+    if draw(st.booleans()):
+        factor = draw(st.integers(min_value=1, max_value=2))
+        t_extent = draw(st.integers(min_value=2, max_value=5))
+        x_extent = draw(st.integers(min_value=3, max_value=8))
+        base = LoopNest(
+            [Loop.make("t", 0, "T"), Loop.make("x", 0, "N")],
+            parameters=["T", "N"],
+            name="random_rect",
+        )
+        nest = skew(base, target="x", source="t", factor=factor)
+        values = {"T": t_extent, "N": x_extent}
+        grid = (t_extent, factor * t_extent + x_extent)
+        body = "visits(t, x) += 1.0;"
+    else:
+        n = draw(st.integers(min_value=6, max_value=16))
+        tile_size = draw(st.integers(min_value=2, max_value=5))
+        triangle = LoopNest(
+            [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")],
+            parameters=["N"],
+            name="random_triangle",
+        )
+        tiled = tile_triangular(triangle, tile_size=tile_size)
+        values = tiled.tile_parameters({"N": n})
+        nest = tiled.tile_nest
+        grid = (values["NT"], values["NT"])
+        body = "visits(it, jt) += 1.0;"
+    return nest, values, grid, body
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    case=transformed_nests(),
+    schedule=st.sampled_from(["static", "dynamic", "adaptive"]),
+)
+def test_property_transformed_engine_visits_match_run_original(case, schedule, runtime_engine):
+    """The engine-equivalence property extended to transformed domains:
+    tiled/skewed nests must execute element-for-element like their original
+    enumeration order, under every schedule policy."""
+    import numpy as np
+
+    from repro.runtime import SharedBuffers, build_plan
+
+    nest, values, grid, _body = case
+    assume(iteration_count(nest, values) > 0)
+
+    expected = np.zeros(grid)
+    for indices in enumerate_iterations(nest, values):
+        expected[indices] += 1.0
+
+    plan = build_plan(
+        nest, values, schedule=schedule,
+        iteration_op=_mark_visit, chunk_op=_mark_visits_chunk,
+    )
+    with SharedBuffers.create({"visits": np.zeros(grid)}) as buffers:
+        result = runtime_engine.execute(plan, buffers=buffers)
+        visits = buffers.snapshot()["visits"]
+    runtime_engine.forget(plan)
+
+    assert sum(result.results) == iteration_count(nest, values)
+    assert np.array_equal(visits, expected)
+
+
+@pytest.fixture(scope="module")
+def runtime_session():
+    from repro.runtime import RuntimeSession
+
+    with RuntimeSession(workers=2) as session:
+        yield session
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    case=transformed_nests(),
+    schedule=st.sampled_from(["static", "dynamic", "adaptive"]),
+)
+def test_property_auto_backend_matches_original_on_transformed_nests(
+    case, schedule, runtime_session
+):
+    """``backend="auto"`` on transformed nests: whatever substrate the
+    profile-guided choice resolves to (explore or exploit, engine or hybrid
+    — the ``c_body`` makes hybrid viable where a compiler exists), the
+    visits grid must equal the original enumeration order."""
+    import numpy as np
+
+    from repro.native import native_available
+
+    nest, values, grid, body = case
+    assume(iteration_count(nest, values) > 0)
+
+    expected = np.zeros(grid)
+    for indices in enumerate_iterations(nest, values):
+        expected[indices] += 1.0
+
+    data = {"visits": np.zeros(grid)}
+    kwargs = dict(iteration_op=_mark_visit, chunk_op=_mark_visits_chunk)
+    if native_available():
+        kwargs.update(c_body=body, c_arrays=("visits",))
+    runtime_session.run(
+        nest, values, data=data, schedule=schedule, backend="auto", **kwargs
+    )
+    assert np.array_equal(data["visits"], expected)
+
+
+# ---------------------------------------------------------------------- #
 # exact recovery at magnitudes straddling 2^45 (all four backends)
 # ---------------------------------------------------------------------- #
 # the independent big-int reference unranker comes from the shared

@@ -10,7 +10,9 @@ from repro.native import (
     cache_dir,
     clear_native_cache,
     compile_shared_library,
+    extra_compile_flags,
     find_compiler,
+    flags_supported,
     native_available,
 )
 from repro.native import compiler as compiler_module
@@ -81,3 +83,91 @@ class TestCompilationCache:
         compile_shared_library(_TINY_UNIT % 5, tag="tiny")
         assert clear_native_cache() >= 2  # at least the .c/.so pair
         assert not any(self.cache.glob("*.so"))
+
+
+#: identical source whose behavior is decided entirely by a -D flag — the
+#: shape of the stale-.so bug: a key that hashes only the source would
+#: serve the first compilation's library for every later flag set
+_FLAG_UNIT = "double repro_probe(void) { return (double)REPRO_PROBE; }\n"
+
+
+@requires_compiler
+class TestFlagsInCacheKey:
+    """Regression: extra compiler flags must be part of the on-disk cache key.
+
+    ``compile_shared_library`` hashes the full compiler command line, so two
+    compilations of the *same* source under *different* extra flags must
+    produce different libraries with genuinely different code — never a
+    stale cache hit from the other flag set.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        monkeypatch.delenv("REPRO_NATIVE_FLAGS", raising=False)
+
+    @staticmethod
+    def _probe(library):
+        import ctypes
+
+        fn = ctypes.CDLL(str(library)).repro_probe
+        fn.restype = ctypes.c_double
+        return fn()
+
+    def test_extra_flags_separate_the_cache_entries(self):
+        three = compile_shared_library(
+            _FLAG_UNIT, tag="probe", extra_flags=("-DREPRO_PROBE=3",)
+        )
+        four = compile_shared_library(
+            _FLAG_UNIT, tag="probe", extra_flags=("-DREPRO_PROBE=4",)
+        )
+        assert three != four
+        # and the libraries really differ in behavior, not just in path
+        assert self._probe(three) == 3.0
+        assert self._probe(four) == 4.0
+
+    def test_same_flags_still_hit_the_cache(self, monkeypatch):
+        library = compile_shared_library(
+            _FLAG_UNIT, tag="probe", extra_flags=("-DREPRO_PROBE=5",)
+        )
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("cache miss: compiler was invoked twice")
+
+        monkeypatch.setattr(compiler_module.subprocess, "run", boom)
+        again = compile_shared_library(
+            _FLAG_UNIT, tag="probe", extra_flags=("-DREPRO_PROBE=5",)
+        )
+        assert again == library
+
+    def test_env_flags_are_read_and_part_of_the_key(self, monkeypatch):
+        assert extra_compile_flags() == ()
+        plain = compile_shared_library(_FLAG_UNIT, tag="probe", extra_flags=("-DREPRO_PROBE=6",))
+        monkeypatch.setenv("REPRO_NATIVE_FLAGS", "-DREPRO_PROBE=7")
+        assert extra_compile_flags() == ("-DREPRO_PROBE=7",)
+        via_env = compile_shared_library(_FLAG_UNIT, tag="probe")
+        assert via_env != plain
+        assert self._probe(via_env) == 7.0
+
+    def test_flags_supported_probes_the_compiler(self):
+        assert flags_supported(("-O2",))
+        assert not flags_supported(("--repro-definitely-not-a-flag",))
+
+    def test_module_cache_keys_on_flags_too(self):
+        """The in-memory ``compile_collapsed`` memo must not serve a module
+        compiled under different extra flags (the second stale-cache layer)."""
+        from repro.core import collapse
+        from repro.ir import Loop, LoopNest
+        from repro.native import compile_collapsed
+
+        nest = LoopNest(
+            [Loop.make("i", 0, "N"), Loop.make("j", "i", "N")],
+            parameters=["N"],
+            name="flagkey",
+        )
+        collapsed = collapse(nest)
+        plain = compile_collapsed(collapsed)
+        flagged = compile_collapsed(collapsed, extra_flags=("-DREPRO_PROBE=8",))
+        memo_hit = compile_collapsed(collapsed)
+        assert plain.library_path != flagged.library_path
+        assert memo_hit is plain
