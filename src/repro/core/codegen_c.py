@@ -501,6 +501,8 @@ def _param_prologue(collapsed: CollapsedLoop, indent: str) -> List[str]:
     for position, name in enumerate(collapsed.nest.parameters):
         lines.append(f"{indent}const long long {name} = repro_params[{position}];")
         lines.append(f"{indent}(void){name};")
+    if not collapsed.nest.parameters:
+        lines.append(f"{indent}(void)repro_params;")
     return lines
 
 
@@ -696,6 +698,7 @@ def generate_translation_unit(
     )
     lines.extend(_param_prologue(collapsed, "  "))
     lines.extend(_array_prologue_lines(arrays, ndims, "  "))
+    lines.append("  (void)repro_arrays; (void)repro_strides;")
     lines.append("  int repro_used = 1;")
     lines.append("  if (repro_max_threads < 1) repro_max_threads = 1;")
     lines.append("  if (last_pc < first_pc) return 0;")

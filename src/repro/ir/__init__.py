@@ -11,8 +11,19 @@ cheap index recovery relies on).
 """
 
 from .loopnest import ArrayAccess, Loop, LoopNest, Statement
-from .parser import native_array_ndims, native_body, parse_loop_nest, ParseError
-from .dependences import DependenceTestResult, may_carry_dependence, dependence_report
+from .parser import (
+    native_array_ndims,
+    native_body,
+    parse_array_assignment,
+    parse_loop_nest,
+    ParseError,
+)
+from .dependences import (
+    DependenceTestResult,
+    may_carry_dependence,
+    dependence_report,
+    write_write_report,
+)
 from .iteration import Odometer, enumerate_iterations, iteration_count
 
 __all__ = [
@@ -22,11 +33,13 @@ __all__ = [
     "Statement",
     "native_array_ndims",
     "native_body",
+    "parse_array_assignment",
     "parse_loop_nest",
     "ParseError",
     "DependenceTestResult",
     "may_carry_dependence",
     "dependence_report",
+    "write_write_report",
     "Odometer",
     "enumerate_iterations",
     "iteration_count",

@@ -184,6 +184,29 @@ def dependence_report(nest: LoopNest, depth: Optional[int] = None) -> List[Depen
     return results
 
 
+def write_write_report(nest: LoopNest, depth: Optional[int] = None) -> List[DependenceTestResult]:
+    """Test every ordered write/write pair — *including* each write against itself.
+
+    :func:`dependence_report` skips the ``write is access`` identity pair, so
+    a statement whose only access is a single plain write (``c(0) = ...;``)
+    is never tested against its own instances in other iterations.  For
+    reads that is harmless, but two *iterations* of the same write statement
+    racing on one cell is exactly the write-write conflict the generated-C
+    linter must catch: the dependence system instantiates two renamed copies
+    of the iteration domain and requires them to differ at a collapsed
+    level, so self-pairing is meaningful and the same-iteration case is
+    excluded by construction.
+    """
+    depth = nest.depth if depth is None else depth
+    results: List[DependenceTestResult] = []
+    for statement in nest.statements:
+        for other in nest.statements:
+            for write in statement.writes():
+                for access in other.writes():
+                    results.append(_access_pair_result(nest, write, access, depth))
+    return results
+
+
 def may_carry_dependence(nest: LoopNest, depth: Optional[int] = None) -> bool:
     """Conservative verdict: may any of the outer ``depth`` loops carry a dependence?
 

@@ -160,6 +160,21 @@ def _parse_assignment(line: str) -> Optional[Statement]:
     return Statement(name=f"{array}_update", accesses=tuple(accesses), c_text=c_text)
 
 
+def parse_array_assignment(line: str) -> Optional[Statement]:
+    """Parse one C array-assignment line into a :class:`Statement`, or ``None``.
+
+    The public entry point for callers that audit C text *outside* a full
+    nest parse — :mod:`repro.lint` feeds each statement line of a kernel's
+    hand-written ``c_body`` through this to recover the access footprint the
+    emitted C actually touches.  Accepts exactly the statement subset
+    :func:`parse_loop_nest` accepts (``c(i, j) = a(i, j) + b(i, j);``,
+    compound ``+=``-style operators, :data:`C_MATH_CALLS` on the right-hand
+    side) and raises :class:`ParseError` on an RHS callee it cannot prove to
+    be either a math call or an affine access.
+    """
+    return _parse_assignment(line.strip())
+
+
 def native_body(nest: LoopNest) -> Tuple[str, Tuple[str, ...]]:
     """The C body and array list of a nest whose statements carry C text.
 

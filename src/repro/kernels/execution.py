@@ -117,6 +117,7 @@ def run_collapsed_native(
     schedule: object = "static",
     threads: Optional[int] = None,
     compile_flags: Sequence[str] = (),
+    sanitize: Optional[str] = None,
 ) -> DataDict:
     """Run the kernel's collapsed loop through the compiled native backend.
 
@@ -129,7 +130,10 @@ def run_collapsed_native(
     (:func:`repro.native.compile_native_kernel` does it, so every
     kernel-compiling path agrees).  ``compile_flags`` append to the
     compiler command line (and to both compilation cache keys) — the
-    conformance sweep's compiler-flags axis.  Raises
+    conformance sweep's compiler-flags axis — and ``sanitize`` names a
+    :data:`repro.native.SANITIZER_PRESETS` entry (default: the
+    ``$REPRO_NATIVE_SANITIZE`` preset), so the same kernel run can execute
+    under ASan/UBSan/TSan instrumentation.  Raises
     :class:`repro.native.NativeUnavailable` on machines without a C
     compiler; callers wanting a soft feature test use
     :func:`repro.native.native_available`.
@@ -139,7 +143,9 @@ def run_collapsed_native(
     if not kernel.supports_native:
         raise ValueError(f"kernel {kernel.name!r} has no native C body")
     data = _clone_data(data) if data is not None else kernel.make_data(parameter_values)
-    module = compile_native_kernel(kernel, schedule=schedule, extra_flags=compile_flags)
+    module = compile_native_kernel(
+        kernel, schedule=schedule, extra_flags=compile_flags, sanitize=sanitize
+    )
     module.run(data, parameter_values, threads=threads)
     return data
 
@@ -223,6 +229,7 @@ def verify_kernel(
     recovery: str = "symbolic",
     session=None,
     backend: str = "python",
+    static_check: bool = False,
 ) -> bool:
     """Original order == collapsed chunked order == NumPy reference.
 
@@ -260,6 +267,13 @@ def verify_kernel(
     paths, ``__int128`` brackets in the compiled paths — see
     docs/recovery.md), so a disagreement here is a kernel-body bug, never a
     float-precision artefact of the recovery.
+
+    ``static_check=True`` additionally runs the full :mod:`repro.lint`
+    audit (dependence gate, C-body footprint, overflow at these sizes,
+    generated-C privatisation) *before* executing anything and fails the
+    verification on any error-severity finding — the differential gate and
+    the static gate agreeing is the strongest statement this repository
+    makes about one kernel.
     """
     if backend not in ("python", "engine", "native", "hybrid", "auto"):
         raise ValueError(
@@ -269,6 +283,11 @@ def verify_kernel(
     if not kernel.is_executable:
         raise ValueError(f"kernel {kernel.name!r} has no executable body")
     parameter_values = dict(parameter_values or kernel.bench_parameters)
+    if static_check:
+        from ..lint import lint_kernel  # deferred: lint sits above kernels
+
+        if lint_kernel(kernel, parameter_values=parameter_values).errors:
+            return False
     if backend == "auto":
         from ..runtime import resolve_auto_backend  # deferred: runtime sits above kernels
 

@@ -291,11 +291,17 @@ def _syr2k_nest() -> LoopNest:
         statements=[
             Statement(
                 "update",
+                # the rank-2 update reads BOTH cross products — A(i,:)B(j,:)
+                # and B(i,:)A(j,:) — exactly as the C body performs them;
+                # repro.lint cross-checks this model against the emitted
+                # footprint, so under-declaring reads here is a lint warning
                 (
                     ArrayAccess.write("C", "i", "j"),
                     ArrayAccess.read("C", "i", "j"),
                     ArrayAccess.read("A", "i", "k"),
                     ArrayAccess.read("B", "j", "k"),
+                    ArrayAccess.read("B", "i", "k"),
+                    ArrayAccess.read("A", "j", "k"),
                 ),
             )
         ],
@@ -551,6 +557,16 @@ register_kernel(
         ),
         default_parameters={"T": 300, "N": 650},
         bench_parameters={"T": 100, "N": 220},
+        # Dependence-gate justification (audited by ``python -m repro.lint``,
+        # rule registry/dependence-gate-off): this kernel is a *scheduling
+        # simulation only* — its single opaque statement declares no array
+        # accesses, carries no iteration_op/make_data, and is excluded from
+        # executable_kernels().  A time-skewed jacobi-1d genuinely carries a
+        # t-loop dependence, so collapsing (t, x) is NOT legal for execution;
+        # the registration exists to exercise the ranking/unranking machinery
+        # on a rhomboidal domain, never to run the stencil.  The lint CLI
+        # keeps this visible as a warning; registering an *executable* kernel
+        # with the gate off is a lint error.
         check_dependences=False,
     )
 )

@@ -1,0 +1,433 @@
+"""Audit a kernel's hand-written ``c_body`` against the dependence tests.
+
+Native and hybrid kernels execute a C body string that the IR-level
+dependence gate never sees: ``collapse(check_dependences=True)`` proves the
+*IR statements* carry no dependence, then the backend compiles and runs the
+``c_body`` — which could, through a typo or a divergent update, touch cells
+the IR never declared.  This module closes that hole statically:
+
+1. the body is parsed into statements and :class:`~repro.ir.loopnest
+   .ArrayAccess`\\ es with the same machinery (and therefore exactly the
+   same accepted subset) as :mod:`repro.ir.parser`;
+2. the *emitted footprint* — the collapsed loops plus any inner loops the
+   body itself declares, around the parsed accesses — becomes a
+   :class:`~repro.ir.loopnest.LoopNest`, and the full ZIV/GCD/
+   Fourier–Motzkin dependence test runs on it, including the write/write
+   self-pairs of :func:`repro.ir.dependences.write_write_report`;
+3. the parsed footprint is cross-checked against the kernel's IR statements
+   (exceeding the IR is a warning: the gate was run on the wrong model;
+   the IR over-approximating the body is informational — a conservative
+   model is harmless);
+4. scalar writes must target scalars the body itself declares: a body-local
+   scalar is block-scoped inside the generated parallel loop and therefore
+   private per iteration, while any other scalar write would race across
+   collapsed iterations.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir import LoopNest, Statement, dependence_report, write_write_report
+from ..ir.loopnest import ArrayAccess, Loop
+from ..ir.parser import ParseError, parse_array_assignment
+from ..polyhedra import AffineExpr
+from .findings import Finding, LintReport
+
+#: loop headers a C body may declare around its statements.  Unlike the
+#: nest-level ``_FOR_RE`` of :mod:`repro.ir.parser` (which predates typed
+#: headers), bodies idiomatically declare their reduction iterator inline:
+#: ``for (long long k = j; k <= i; k++) ...``.
+_BODY_FOR_RE = re.compile(
+    r"""for\s*\(\s*
+        (?:(?:const\s+)?(?:long\s+long|long|int)\s+)?(?P<iterator>[A-Za-z_]\w*)\s*=\s*
+        (?P<lower>[^;]+);\s*
+        (?P<iterator2>[A-Za-z_]\w*)\s*(?P<relation><=|<)\s*(?P<upper>[^;]+);\s*
+        (?P<iterator3>[A-Za-z_]\w*)\s*(?:\+\+|\+=\s*1)\s*
+        \)""",
+    re.VERBOSE,
+)
+
+_DECL_RE = re.compile(
+    r"""^(?:const\s+)?(?:double|float|long\s+long|long|int)\s+
+        (?P<name>[A-Za-z_]\w*)\s*(?:=\s*(?P<init>.+))?$""",
+    re.VERBOSE,
+)
+
+_SCALAR_ASSIGN_RE = re.compile(
+    r"^(?P<name>[A-Za-z_]\w*)\s*(?P<op>[-+*/]?=)(?!=)\s*(?P<rhs>.+)$"
+)
+
+_INCDEC_RE = re.compile(
+    r"^(?:(?:\+\+|--)\s*(?P<pre>[A-Za-z_]\w*)|(?P<post>[A-Za-z_]\w*)\s*(?:\+\+|--))$"
+)
+
+#: fabricated sink array used to parse a bare right-hand side through
+#: :func:`repro.ir.parser.parse_array_assignment`, so RHS read extraction
+#: (math-call roster, nested-paren rejection) stays byte-identical to the
+#: nest parser's
+_SINK = "__repro_lint_sink"
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    return re.sub(r"//[^\n]*", " ", text)
+
+
+def _rhs_reads(rhs: str, context: str) -> Tuple[ArrayAccess, ...]:
+    """The array reads of a bare right-hand-side expression."""
+    statement = parse_array_assignment(f"{_SINK}(0) = {rhs};")
+    if statement is None:
+        raise ParseError(f"cannot parse right-hand side {rhs!r} in {context!r}")
+    return tuple(a for a in statement.accesses if a.array != _SINK)
+
+
+@dataclass
+class _Scope:
+    """One brace or loop scope while scanning the body."""
+
+    kind: str  # "block" | "loop"
+    braced: bool
+    loop: Optional[Loop] = None
+
+
+@dataclass
+class CBodyAudit:
+    """The parse result and findings of one ``c_body`` audit."""
+
+    subject: str
+    report: LintReport = field(default_factory=LintReport)
+    #: collapsed loops + body-declared inner loops around the parsed
+    #: statements; ``None`` when the body failed to parse
+    footprint: Optional[LoopNest] = None
+    statements: Tuple[Statement, ...] = ()
+    inner_loops: Tuple[Loop, ...] = ()
+    local_scalars: Tuple[str, ...] = ()
+
+    @property
+    def findings(self) -> List[Finding]:
+        return self.report.findings
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+def parse_c_body(
+    c_body: str,
+    subject: str = "c_body",
+) -> Tuple[Tuple[Loop, ...], Tuple[Statement, ...], Tuple[str, ...], Tuple[str, ...]]:
+    """Parse a native C body into loops, statements, locals, and shared writes.
+
+    Returns ``(inner_loops, statements, local_scalars, shared_scalar_writes)``.
+    ``statements`` carry the array accesses the body performs (scalar
+    reads/writes carry only their RHS array reads — a body-local scalar is
+    private by construction).  ``shared_scalar_writes`` lists every scalar
+    assignment target the body does *not* declare; the caller decides how
+    loudly to complain.  Raises :class:`~repro.ir.parser.ParseError` on any
+    statement outside the supported subset.
+    """
+    text = _strip_comments(c_body)
+    position = 0
+    scopes: List[_Scope] = []
+    inner_loops: List[Loop] = []
+    statements: List[Statement] = []
+    locals_: List[str] = []
+    shared_writes: List[str] = []
+
+    def close_braceless_loops() -> None:
+        # a braceless `for` owns exactly the one statement just consumed
+        while scopes and scopes[-1].kind == "loop" and not scopes[-1].braced:
+            scopes.pop()
+
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        if text[position] == "{":
+            scopes.append(_Scope("block", True))
+            position += 1
+            continue
+        if text[position] == "}":
+            while scopes and not scopes[-1].braced:
+                scopes.pop()
+            if not scopes:
+                raise ParseError(f"unbalanced '}}' in the C body of {subject!r}")
+            scopes.pop()
+            position += 1
+            close_braceless_loops()
+            continue
+        for_match = _BODY_FOR_RE.match(text, position)
+        if for_match is not None:
+            iterator = for_match.group("iterator")
+            if (
+                for_match.group("iterator2") != iterator
+                or for_match.group("iterator3") != iterator
+            ):
+                raise ParseError(
+                    f"loop header mixes iterators in the C body of {subject!r}: "
+                    f"{for_match.group(0)!r}"
+                )
+            try:
+                lower = AffineExpr.parse(for_match.group("lower"))
+                upper = AffineExpr.parse(for_match.group("upper"))
+            except ValueError as error:
+                raise ParseError(
+                    f"non-affine bound in the C body of {subject!r}: {error}"
+                ) from error
+            if for_match.group("relation") == "<=":
+                upper = upper + 1
+            loop = Loop(iterator, lower, upper, parallel=False)
+            inner_loops.append(loop)
+            position = for_match.end()
+            rest = text[position:].lstrip()
+            braced = rest.startswith("{")
+            scopes.append(_Scope("loop", braced, loop))
+            if braced:
+                position = text.index("{", position) + 1
+            continue
+        end = text.find(";", position)
+        if end < 0:
+            raise ParseError(
+                f"unterminated statement in the C body of {subject!r}: "
+                f"{text[position:].strip()!r}"
+            )
+        raw = text[position:end].strip()
+        position = end + 1
+        statement = _classify_statement(raw, subject, locals_, shared_writes)
+        if statement is not None:
+            statements.append(statement)
+        close_braceless_loops()
+
+    if any(scope.braced for scope in scopes):
+        raise ParseError(f"unbalanced '{{' in the C body of {subject!r}")
+    return tuple(inner_loops), tuple(statements), tuple(locals_), tuple(shared_writes)
+
+
+def _classify_statement(
+    raw: str,
+    subject: str,
+    locals_: List[str],
+    shared_writes: List[str],
+) -> Optional[Statement]:
+    if not raw:
+        return None
+    declaration = _DECL_RE.match(raw)
+    if declaration is not None:
+        name = declaration.group("name")
+        locals_.append(name)
+        init = declaration.group("init")
+        if init:
+            reads = _rhs_reads(init, raw)
+            if reads:
+                return Statement(name=f"{name}_init", accesses=reads, c_text=raw + ";")
+        return None
+    array_assignment = parse_array_assignment(raw + ";")
+    if array_assignment is not None:
+        return array_assignment
+    scalar = _SCALAR_ASSIGN_RE.match(raw)
+    if scalar is not None:
+        name = scalar.group("name")
+        if name not in locals_:
+            shared_writes.append(name)
+        accesses = _rhs_reads(scalar.group("rhs"), raw)
+        if scalar.group("op") != "=":
+            # a compound scalar update also reads its target, but a scalar
+            # carries no subscripts for the dependence system to compare;
+            # only its array reads matter
+            pass
+        if accesses:
+            return Statement(name=f"{name}_scalar", accesses=accesses, c_text=raw + ";")
+        return None
+    increment = _INCDEC_RE.match(raw)
+    if increment is not None:
+        name = increment.group("pre") or increment.group("post")
+        if name not in locals_:
+            shared_writes.append(name)
+        return None
+    raise ParseError(f"unsupported statement in the C body of {subject!r}: {raw!r}")
+
+
+def _normalised(access: ArrayAccess) -> Tuple[str, Tuple[str, ...], bool]:
+    return (
+        access.array,
+        tuple(str(subscript) for subscript in access.subscripts),
+        access.is_write,
+    )
+
+
+def _access_counter(statements: Sequence[Statement]) -> Counter:
+    counter: Counter = Counter()
+    for statement in statements:
+        for access in statement.accesses:
+            counter[_normalised(access)] += 1
+    return counter
+
+
+def _format_access(key: Tuple[str, Tuple[str, ...], bool], count: int) -> str:
+    array, subscripts, is_write = key
+    kind = "W" if is_write else "R"
+    rendered = f"{kind}:{array}({', '.join(subscripts)})"
+    return rendered if count == 1 else f"{rendered} x{count}"
+
+
+def audit_c_body(
+    c_body: str,
+    outer_loops: Sequence[Loop],
+    parameters: Sequence[str],
+    depth: int,
+    subject: str = "c_body",
+    ir_statements: Sequence[Statement] = (),
+    declared_arrays: Sequence[str] = (),
+) -> CBodyAudit:
+    """Audit one C body: parse, dependence-test, and cross-check its footprint.
+
+    ``outer_loops`` are the loops being collapsed (``kernel.nest.loops[:depth]``)
+    whose iterators the body may use; the body's own inner loops extend the
+    footprint nest below them.  ``ir_statements`` (when the kernel's IR
+    declares accesses) drive the emitted-vs-model cross-check, and
+    ``declared_arrays`` (the kernel's ``c_arrays`` ABI tuple) must cover
+    every array the body touches.
+    """
+    audit = CBodyAudit(subject=subject)
+    report = audit.report
+    try:
+        inner_loops, statements, local_scalars, shared_writes = parse_c_body(
+            c_body, subject
+        )
+    except ParseError as error:
+        report.add(
+            "c-body/parse-error",
+            "error",
+            subject,
+            "the C body does not fit the auditable statement subset",
+            str(error),
+        )
+        return audit
+    audit.statements = statements
+    audit.inner_loops = inner_loops
+    audit.local_scalars = local_scalars
+
+    for name in shared_writes:
+        report.add(
+            "c-body/shared-scalar-write",
+            "error",
+            subject,
+            f"the body writes scalar {name!r} without declaring it",
+            "a body-local scalar is block-scoped (hence private) inside the "
+            "generated parallel loop; writing any other scalar races across "
+            "collapsed iterations",
+        )
+
+    try:
+        footprint = LoopNest(
+            tuple(outer_loops) + inner_loops,
+            statements,
+            parameters,
+            name=f"{subject}_footprint",
+        )
+    except ValueError as error:
+        report.add(
+            "c-body/invalid-footprint",
+            "error",
+            subject,
+            "the parsed footprint does not form a valid affine nest",
+            str(error),
+        )
+        return audit
+    audit.footprint = footprint
+
+    # --- dependence test on the emitted footprint ----------------------- #
+    seen: set = set()
+    results = list(dependence_report(footprint, depth))
+    results.extend(write_write_report(footprint, depth))
+    for result in results:
+        if not result.may_depend:
+            continue
+        key = str(result)
+        if key in seen:
+            continue
+        seen.add(key)
+        report.add(
+            "c-body/footprint-dependence",
+            "error",
+            subject,
+            "the emitted access footprint may carry a dependence on a "
+            "collapsed loop",
+            key,
+        )
+    if not any(f.rule == "c-body/footprint-dependence" for f in report.findings):
+        report.add(
+            "c-body/footprint-independent",
+            "info",
+            subject,
+            f"the emitted footprint carries no dependence on the {depth} "
+            "collapsed loops",
+            f"{len(results)} access pairs tested",
+        )
+
+    # --- ABI coverage ---------------------------------------------------- #
+    if declared_arrays:
+        touched = {
+            access.array for statement in statements for access in statement.accesses
+        }
+        missing = sorted(touched - set(declared_arrays))
+        if missing:
+            report.add(
+                "c-body/array-not-in-abi",
+                "error",
+                subject,
+                "the body accesses arrays absent from the kernel's c_arrays "
+                "pointer table",
+                ", ".join(missing),
+            )
+        unused = sorted(set(declared_arrays) - touched)
+        if unused:
+            report.add(
+                "c-body/unused-abi-array",
+                "info",
+                subject,
+                "c_arrays declares arrays the body never touches",
+                ", ".join(unused),
+            )
+
+    # --- cross-check against the IR model -------------------------------- #
+    ir_counter = _access_counter(ir_statements)
+    if ir_counter:
+        emitted_counter = _access_counter(statements)
+        emitted_only = emitted_counter - ir_counter
+        ir_only = ir_counter - emitted_counter
+        if emitted_only:
+            report.add(
+                "c-body/footprint-exceeds-ir",
+                "warning",
+                subject,
+                "the emitted C performs accesses the IR statements never "
+                "declared — the IR-level dependence gate ran on the wrong model",
+                ", ".join(
+                    _format_access(key, count)
+                    for key, count in sorted(emitted_only.items())
+                ),
+            )
+        if ir_only:
+            report.add(
+                "c-body/ir-over-approximates",
+                "info",
+                subject,
+                "the IR declares accesses the emitted C does not perform "
+                "(a conservative model; harmless)",
+                ", ".join(
+                    _format_access(key, count) for key, count in sorted(ir_only.items())
+                ),
+            )
+        if not emitted_only and not ir_only:
+            report.add(
+                "c-body/footprint-matches-ir",
+                "info",
+                subject,
+                "the emitted access footprint equals the IR statement accesses",
+            )
+    return audit

@@ -24,15 +24,19 @@ See docs/native.md for the backend matrix and the guarded-floor story.
 
 from .compiler import (
     BASE_FLAGS,
+    SANITIZER_PRESETS,
     NativeUnavailable,
     cache_dir,
     clear_native_cache,
     compile_shared_library,
+    default_sanitize,
     extra_compile_flags,
     find_compiler,
     flags_supported,
     native_available,
     openmp_flags,
+    sanitize_flags,
+    sanitize_supported,
 )
 from .module import (
     NativeChunkRunner,
@@ -47,15 +51,19 @@ from .module import (
 
 __all__ = [
     "BASE_FLAGS",
+    "SANITIZER_PRESETS",
     "NativeUnavailable",
     "cache_dir",
     "clear_native_cache",
     "compile_shared_library",
+    "default_sanitize",
     "extra_compile_flags",
     "find_compiler",
     "flags_supported",
     "native_available",
     "openmp_flags",
+    "sanitize_flags",
+    "sanitize_supported",
     "NativeChunkRunner",
     "NativeExecutionError",
     "NativeLibrarySpec",

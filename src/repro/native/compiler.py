@@ -42,6 +42,20 @@ _COMPILER_CANDIDATES = ("cc", "gcc", "clang")
 #: flags every compilation uses (OpenMP is probed separately)
 BASE_FLAGS = ("-O2", "-fPIC", "-shared")
 
+#: sanitizer presets accepted by ``sanitize=`` parameters and
+#: ``$REPRO_NATIVE_SANITIZE``; each maps to the exact flag set appended to
+#: the compiler command line (and therefore to both cache keys)
+SANITIZER_PRESETS = {
+    "address": ("-fsanitize=address", "-fno-omit-frame-pointer", "-g"),
+    "address,undefined": (
+        "-fsanitize=address,undefined",
+        "-fno-omit-frame-pointer",
+        "-g",
+    ),
+    "undefined": ("-fsanitize=undefined", "-g"),
+    "thread": ("-fsanitize=thread", "-g"),
+}
+
 
 class NativeUnavailable(RuntimeError):
     """No usable C compiler (or a compilation failed); callers should fall
@@ -106,6 +120,55 @@ def extra_compile_flags() -> Tuple[str, ...]:
     return tuple(raw.split()) if raw else ()
 
 
+def sanitize_flags(sanitize: Optional[str]) -> Tuple[str, ...]:
+    """The compiler flags of a sanitizer preset (``()`` for ``None``/``""``).
+
+    ``sanitize`` must be a :data:`SANITIZER_PRESETS` key —
+    ``"address"``, ``"address,undefined"``, ``"undefined"`` or ``"thread"``
+    — so a typo raises here instead of silently compiling uninstrumented
+    code.  ASan libraries generally cannot ``dlopen`` into an
+    uninstrumented interpreter; CI preloads ``libasan`` for that
+    (``LD_PRELOAD=$(gcc -print-file-name=libasan.so)``), while UBSan works
+    in-process without ceremony.
+    """
+    if not sanitize:
+        return ()
+    spec = str(sanitize).strip()
+    try:
+        return SANITIZER_PRESETS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown sanitizer preset {spec!r}; "
+            f"choose one of {sorted(SANITIZER_PRESETS)}"
+        ) from None
+
+
+def default_sanitize() -> Optional[str]:
+    """The process-wide sanitizer preset from ``$REPRO_NATIVE_SANITIZE``.
+
+    Empty/unset means no sanitizer.  Like every flag source, the resolved
+    preset lands in both cache keys, so flipping the variable recompiles
+    instead of serving a stale uninstrumented library.
+    """
+    raw = os.environ.get("REPRO_NATIVE_SANITIZE", "").strip()
+    return raw or None
+
+
+def sanitize_supported(sanitize: str) -> bool:
+    """True when the compiler builds a trivial unit under the preset.
+
+    The ASan/UBSan CI smoke gates on this the way the sweep gates optional
+    flag axes on :func:`flags_supported`; the probe object lands in the
+    normal on-disk cache, making repeated probes free.
+    """
+    probe = "double repro_sanitize_probe(void) { return 1.0; }\n"
+    try:
+        compile_shared_library(probe, tag="sanprobe", sanitize=sanitize)
+    except (NativeUnavailable, ValueError):
+        return False
+    return True
+
+
 def flags_supported(extra_flags: Sequence[str]) -> bool:
     """True when the compiler accepts ``extra_flags`` on a trivial unit.
 
@@ -137,17 +200,23 @@ def source_digest(source: str, command_tail: Tuple[str, ...]) -> str:
 
 
 def compile_shared_library(
-    source: str, tag: str = "collapsed", extra_flags: Sequence[str] = ()
+    source: str,
+    tag: str = "collapsed",
+    extra_flags: Sequence[str] = (),
+    sanitize: Optional[str] = None,
 ) -> Path:
     """Compile a translation unit to a cached shared library; return its path.
 
-    A cache hit (same source, same compiler, same flags — ``extra_flags``
-    and ``$REPRO_NATIVE_FLAGS`` included) returns the existing ``.so``
-    without running the compiler; any flag change produces a different
-    digest and therefore a fresh compilation (pinned by
-    ``tests/native/test_compiler.py``).  Raises :class:`NativeUnavailable`
-    when no compiler is found or the compilation fails (with the compiler's
-    stderr in the message).
+    A cache hit (same source, same compiler, same flags — ``extra_flags``,
+    ``sanitize`` and ``$REPRO_NATIVE_FLAGS`` included) returns the existing
+    ``.so`` without running the compiler; any flag change produces a
+    different digest and therefore a fresh compilation (pinned by
+    ``tests/native/test_compiler.py``).  ``sanitize`` names a
+    :data:`SANITIZER_PRESETS` entry whose flags join the command line —
+    since the digest covers the full command, sanitized and plain builds of
+    the same source never collide in the cache.  Raises
+    :class:`NativeUnavailable` when no compiler is found or the compilation
+    fails (with the compiler's stderr in the message).
     """
     compiler = find_compiler()
     if compiler is None:
@@ -156,7 +225,11 @@ def compile_shared_library(
             "the Python engine backend"
         )
     flags = (
-        BASE_FLAGS + openmp_flags(compiler) + tuple(extra_flags) + extra_compile_flags()
+        BASE_FLAGS
+        + openmp_flags(compiler)
+        + tuple(extra_flags)
+        + sanitize_flags(sanitize)
+        + extra_compile_flags()
     )
     digest = source_digest(source, (compiler,) + flags)
     directory = cache_dir()

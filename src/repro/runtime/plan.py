@@ -311,6 +311,7 @@ def build_plan(
     c_arrays: Sequence[str] = (),
     array_ndims: Optional[Mapping[str, int]] = None,
     compile_flags: Sequence[str] = (),
+    static_check: Optional[bool] = None,
 ) -> ExecutionPlan:
     """Build an :class:`ExecutionPlan` from a kernel, nest or collapsed loop.
 
@@ -331,6 +332,16 @@ def build_plan(
     line of that translation unit (and to its cache keys) — the sweep's
     compiler-flags axis.  Raises :class:`~repro.native.NativeUnavailable`
     where no C compiler exists.
+
+    ``static_check`` controls the :mod:`repro.lint` audits that run before
+    anything compiles or executes.  The default (``None``) runs the static
+    overflow audit for native plans — the emitted ``long long`` /
+    ``__int128`` widths are *proven* unable to wrap at these parameter
+    values, where the big-int Python paths need no such proof.
+    ``static_check=True`` runs the full audit (overflow plus the C-body
+    footprint and generated-C privatisation checks when a body is known);
+    ``static_check=False`` skips everything.  Any error-severity finding
+    raises :class:`PlanError` before the compiler is ever invoked.
     """
     from ..kernels import Kernel, get_kernel  # deferred: kernels import runtime helpers
 
@@ -355,6 +366,26 @@ def build_plan(
         collapsed = source
     else:
         raise PlanError(f"cannot build a plan from {type(source).__name__}")
+
+    if static_check or (static_check is None and native):
+        # audit before compiling: a plan whose emitted widths could wrap (or,
+        # under full checking, whose region privatisation is unproven) must
+        # never reach the compiler
+        from ..lint.registry import static_check_plan  # deferred: lint imports ir
+
+        check_body, check_arrays = c_body, tuple(c_arrays)
+        if check_body is None and isinstance(source, Kernel):
+            check_body, check_arrays = source.c_body, source.c_arrays
+        static_check_plan(
+            collapsed,
+            parameter_values,
+            c_body=check_body,
+            c_arrays=check_arrays,
+            schedule="static",  # native plans compile the static-schedule unit
+            subject=kernel_name or collapsed.nest.name,
+            full=bool(static_check),
+            ir_statements=collapsed.nest.statements,
+        ).raise_on_errors(PlanError)
 
     native_spec = None
     if native:

@@ -1,0 +1,188 @@
+"""The C-body access auditor: parsing, footprints, and the IR cross-check."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Loop, LoopNest
+from repro.ir.parser import ParseError, native_body, parse_array_assignment
+from repro.lint import audit_c_body, parse_c_body
+
+TRIANGLE = [Loop.make("i", 0, "N - 1"), Loop.make("j", "i + 1", "N")]
+
+
+def _accesses(statements):
+    """Multiset of (array, subscripts, is_write) across all statements."""
+    counter = Counter()
+    for statement in statements:
+        for access in statement.accesses:
+            counter[
+                (
+                    access.array,
+                    tuple(str(s) for s in access.subscripts),
+                    access.is_write,
+                )
+            ] += 1
+    return counter
+
+
+# ---------------------------------------------------------------------- #
+# parsing fixed shapes
+# ---------------------------------------------------------------------- #
+def test_parse_reduction_body_with_inner_loop_and_local():
+    body = (
+        "double acc = 0.0;\n"
+        "for (long long k = j; k <= i + 1; k++) acc += a(i, k) * b(k, j);\n"
+        "c(i, j) = acc;\n"
+    )
+    inner_loops, statements, locals_, shared = parse_c_body(body)
+    assert [loop.iterator for loop in inner_loops] == ["k"]
+    assert str(inner_loops[0].lower) == "j"
+    assert str(inner_loops[0].upper) == "i + 2"  # <= upper is exclusive + 1
+    assert locals_ == ("acc",)
+    assert shared == ()
+    counter = _accesses(statements)
+    assert counter[("a", ("i", "k"), False)] == 1
+    assert counter[("b", ("k", "j"), False)] == 1
+    assert counter[("c", ("i", "j"), True)] == 1
+
+
+def test_parse_reports_shared_scalar_writes():
+    _, _, locals_, shared = parse_c_body("total += a(i);\n")
+    assert locals_ == ()
+    assert shared == ("total",)
+
+
+def test_parse_rejects_unsupported_statements():
+    with pytest.raises(ParseError, match="unsupported statement"):
+        parse_c_body("if (i > 0) c(i) = 1.0;\n")
+
+
+def test_parse_rejects_unbalanced_braces():
+    with pytest.raises(ParseError, match="unbalanced"):
+        parse_c_body("for (long long k = 0; k < i; k++) { c(k) = 1.0;\n")
+
+
+def test_braceless_loop_owns_exactly_one_statement():
+    body = (
+        "for (long long k = 0; k < i; k++) s(k) += 1.0;\n"
+        "c(i, j) = 2.0;\n"
+    )
+    inner_loops, statements, _, _ = parse_c_body(body)
+    assert len(inner_loops) == 1
+    # both statements parsed; the second is outside the braceless loop scope
+    assert _accesses(statements)[("c", ("i", "j"), True)] == 1
+
+
+# ---------------------------------------------------------------------- #
+# audit findings
+# ---------------------------------------------------------------------- #
+def test_audit_flags_shared_scalar_write_as_error():
+    audit = audit_c_body("total += a(i, j);", TRIANGLE, ["N"], 2)
+    assert [f.rule for f in audit.report.errors] == ["c-body/shared-scalar-write"]
+
+
+def test_audit_flags_constant_subscript_write_write_race():
+    # every collapsed iteration writes c(0): a write/write self-pair race
+    # invisible to the read/write-only dependence report
+    audit = audit_c_body("c(0) += a(i, j);", TRIANGLE, ["N"], 2)
+    assert any(f.rule == "c-body/footprint-dependence" for f in audit.report.errors)
+
+
+def test_audit_clean_body_reports_independence():
+    audit = audit_c_body("c(i, j) = a(i, j) + 1.0;", TRIANGLE, ["N"], 2)
+    assert audit.ok
+    assert any(
+        f.rule == "c-body/footprint-independent" for f in audit.report.findings
+    )
+
+
+def test_audit_cross_checks_abi_coverage():
+    audit = audit_c_body(
+        "c(i, j) = a(i, j);", TRIANGLE, ["N"], 2, declared_arrays=("c",)
+    )
+    assert any(f.rule == "c-body/array-not-in-abi" for f in audit.report.errors)
+    audit = audit_c_body(
+        "c(i, j) = 1.0;", TRIANGLE, ["N"], 2, declared_arrays=("c", "ghost")
+    )
+    assert any(
+        f.rule == "c-body/unused-abi-array"
+        for f in audit.report.findings
+        if f.severity == "info"
+    )
+
+
+def test_audit_cross_checks_footprint_against_ir():
+    nest = LoopNest(
+        TRIANGLE,
+        [parse_array_assignment("c(i, j) = a(i, j);")],
+        ["N"],
+        name="model",
+    )
+    # emitted body reads b too: the IR gate ran on the wrong model
+    audit = audit_c_body(
+        "c(i, j) = a(i, j) + b(i, j);",
+        TRIANGLE,
+        ["N"],
+        2,
+        ir_statements=nest.statements,
+    )
+    exceeds = [f for f in audit.report.findings if f.rule == "c-body/footprint-exceeds-ir"]
+    assert len(exceeds) == 1 and exceeds[0].severity == "warning"
+    assert "b(i, j)" in exceeds[0].detail
+    # identical body: exact-match info
+    audit = audit_c_body(
+        "c(i, j) = a(i, j);", TRIANGLE, ["N"], 2, ir_statements=nest.statements
+    )
+    assert any(
+        f.rule == "c-body/footprint-matches-ir" for f in audit.report.findings
+    )
+
+
+def test_audit_reports_parse_error_as_finding():
+    audit = audit_c_body("goto out;", TRIANGLE, ["N"], 2)
+    assert [f.rule for f in audit.report.errors] == ["c-body/parse-error"]
+    assert audit.footprint is None
+
+
+# ---------------------------------------------------------------------- #
+# Hypothesis round-trip: nest statements -> native_body -> parse_c_body
+# ---------------------------------------------------------------------- #
+_SUBSCRIPTS = ("i", "j", "i + 1", "i + j")
+
+
+@st.composite
+def statement_lines(draw):
+    """Random auditable statement lines over arrays a/b (reads) and c/d (writes)."""
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        target = draw(st.sampled_from(["c", "d"]))
+        subs = draw(st.tuples(st.sampled_from(_SUBSCRIPTS), st.sampled_from(_SUBSCRIPTS)))
+        op = draw(st.sampled_from(["=", "+=", "-="]))
+        reads = [
+            f"{draw(st.sampled_from(['a', 'b']))}({draw(st.sampled_from(_SUBSCRIPTS))}, "
+            f"{draw(st.sampled_from(_SUBSCRIPTS))})"
+            for _ in range(draw(st.integers(min_value=0, max_value=2)))
+        ]
+        rhs = " + ".join(reads) if reads else "2.5"
+        lines.append(f"{target}({subs[0]}, {subs[1]}) {op} {rhs};")
+    return lines
+
+
+@settings(max_examples=40, deadline=None)
+@given(lines=statement_lines())
+def test_property_c_body_roundtrip_preserves_footprint(lines):
+    """native_body(nest) -> parse_c_body must recover exactly the accesses the
+    nest's IR statements declare — the round-trip invariant the lint
+    cross-check relies on to call any divergence a finding."""
+    statements = [parse_array_assignment(line) for line in lines]
+    assert all(statements)
+    nest = LoopNest(TRIANGLE, statements, ["N"], name="roundtrip")
+    body, arrays = native_body(nest)
+    inner_loops, parsed, locals_, shared = parse_c_body(body)
+    assert inner_loops == ()
+    assert locals_ == () and shared == ()
+    assert _accesses(parsed) == _accesses(nest.statements)
+    touched = {access.array for s in parsed for access in s.accesses}
+    assert touched == set(arrays)

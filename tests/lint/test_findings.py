@@ -1,0 +1,69 @@
+"""The finding/report containers behind every lint audit."""
+
+import json
+
+import pytest
+
+from repro.lint import Finding, LintReport, SEVERITIES
+
+
+def test_severity_ladder_is_error_warning_info():
+    assert SEVERITIES == ("error", "warning", "info")
+
+
+def test_unknown_severity_is_rejected():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Finding("x/y", "fatal", "subject", "message")
+
+
+def test_report_rollups_and_select():
+    report = LintReport()
+    report.add("a/one", "error", "k", "broken")
+    report.add("a/two", "warning", "k", "suspicious")
+    report.add("b/three", "info", "k", "proven")
+    assert not report.ok
+    assert [f.rule for f in report.errors] == ["a/one"]
+    assert [f.rule for f in report.warnings] == ["a/two"]
+    assert report.counts() == {"error": 1, "warning": 1, "info": 1}
+    assert [f.rule for f in report.select("a/")] == ["a/one", "a/two"]
+
+
+def test_merge_preserves_order():
+    first, second = LintReport(), LintReport()
+    first.add("a/one", "info", "k", "m1")
+    second.add("a/two", "info", "k", "m2")
+    first.merge(second)
+    assert [f.rule for f in first.findings] == ["a/one", "a/two"]
+
+
+def test_json_is_sorted_and_stable():
+    report = LintReport()
+    report.add("z/rule", "warning", "k", "message", "detail")
+    payload = json.loads(report.to_json(extra={"alpha": 1}))
+    assert payload["alpha"] == 1
+    assert payload["counts"]["warning"] == 1
+    assert payload["findings"][0]["rule"] == "z/rule"
+    # stable across runs: serialising twice gives identical text
+    assert report.to_json() == report.to_json()
+
+
+def test_markdown_orders_by_severity():
+    report = LintReport()
+    report.add("c/info", "info", "k", "proven")
+    report.add("a/error", "error", "k", "broken")
+    text = report.to_markdown()
+    assert text.index("a/error") < text.index("c/info")
+    assert "| severity |" in text
+
+
+def test_raise_on_errors():
+    report = LintReport()
+    report.add("a/ok", "info", "k", "fine")
+    report.raise_on_errors()  # no error findings: no raise
+    report.add("a/bad", "error", "k", "broken")
+
+    class Boom(ValueError):
+        pass
+
+    with pytest.raises(Boom, match="1 error finding"):
+        report.raise_on_errors(Boom)

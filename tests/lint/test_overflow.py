@@ -1,0 +1,99 @@
+"""The static overflow audit and its build_plan/verify_kernel wiring."""
+
+import pytest
+
+from repro.core import collapse
+from repro.ir import Loop, LoopNest
+from repro.kernels import get_kernel
+from repro.lint import INT64_MAX, audit_overflow
+
+
+@pytest.fixture
+def simplex3_collapsed():
+    nest = LoopNest(
+        [Loop.make("i", 0, "N"), Loop.make("j", 0, "i + 1"), Loop.make("k", 0, "j + 1")],
+        parameters=["N"],
+        name="simplex3",
+    )
+    return collapse(nest)
+
+
+def test_widths_proven_at_sane_sizes(simplex3_collapsed):
+    report = audit_overflow(simplex3_collapsed, {"N": 1000})
+    assert report.ok
+    proofs = [f for f in report.findings if f.rule == "overflow/widths-proven"]
+    assert len(proofs) == 1
+    assert "2^127" in proofs[0].detail
+
+
+def test_total_beyond_int64_is_an_error(simplex3_collapsed):
+    # a cubic simplex: N = 2^22 puts the trip count near 2^63 / 6 * 8 > 2^63
+    report = audit_overflow(simplex3_collapsed, {"N": 2**22})
+    assert simplex3_collapsed.total_iterations({"N": 2**22}) > INT64_MAX
+    assert any(f.rule == "overflow/total-exceeds-int64" for f in report.errors)
+
+
+def test_missing_parameters_are_an_error(simplex3_collapsed):
+    report = audit_overflow(simplex3_collapsed, {})
+    assert [f.rule for f in report.errors] == ["overflow/missing-parameters"]
+
+
+def test_bound_grows_monotonically_with_sizes(simplex3_collapsed):
+    def worst_bits(n):
+        report = audit_overflow(simplex3_collapsed, {"N": n})
+        (proof,) = [f for f in report.findings if f.rule == "overflow/widths-proven"]
+        return proof.detail
+
+    assert worst_bits(10) != worst_bits(10_000)
+
+
+# ---------------------------------------------------------------------- #
+# plan/verify wiring
+# ---------------------------------------------------------------------- #
+def test_native_build_plan_audits_overflow_by_default():
+    from repro.native import native_available
+    from repro.runtime.plan import PlanError, build_plan
+
+    if not native_available():
+        pytest.skip("no C compiler on this machine")
+    kernel = get_kernel("utma")
+    huge = {name: 10**10 for name in kernel.default_parameters}
+    with pytest.raises(PlanError, match="overflow/total-exceeds-int64"):
+        build_plan(kernel, huge, native=True)
+
+
+def test_python_plans_skip_the_audit_by_default():
+    # big-int Python paths cannot wrap: a 10^19-sized plan must still build
+    from repro.runtime.plan import build_plan
+
+    kernel = get_kernel("utma")
+    huge = {name: 10**19 for name in kernel.default_parameters}
+    plan = build_plan(kernel, huge)
+    assert plan.total_iterations > INT64_MAX
+
+
+def test_static_check_true_runs_the_full_audit():
+    from repro.runtime.plan import PlanError, build_plan
+
+    kernel = get_kernel("utma")
+    values = dict(kernel.default_parameters)
+    plan = build_plan(kernel, values, static_check=True)
+    assert plan.plan_id
+    huge = {name: 10**10 for name in values}
+    with pytest.raises(PlanError, match="static check failed"):
+        build_plan(kernel, huge, static_check=True)
+
+
+def test_static_check_false_skips_everything():
+    from repro.runtime.plan import build_plan
+
+    kernel = get_kernel("utma")
+    huge = {name: 10**19 for name in kernel.default_parameters}
+    assert build_plan(kernel, huge, static_check=False).plan_id
+
+
+def test_verify_kernel_accepts_static_check():
+    from repro.kernels.execution import verify_kernel
+
+    kernel = get_kernel("utma")
+    assert verify_kernel(kernel, kernel.default_parameters, static_check=True)
